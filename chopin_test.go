@@ -1,0 +1,497 @@
+package chopin
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// --- Public API surface ---
+
+func TestSuiteAccessors(t *testing.T) {
+	if got := len(Benchmarks()); got != 22 {
+		t.Fatalf("Benchmarks() = %d, want 22", got)
+	}
+	if got := len(LatencyBenchmarks()); got != 9 {
+		t.Fatalf("LatencyBenchmarks() = %d, want 9", got)
+	}
+	if got := len(BenchmarkNames()); got != 22 {
+		t.Fatalf("BenchmarkNames() = %d, want 22", got)
+	}
+	b, err := Lookup("h2")
+	if err != nil || b.Name != "h2" {
+		t.Fatalf("Lookup(h2) = %v, %v", b, err)
+	}
+	if _, err := Lookup("missing"); err == nil {
+		t.Fatal("Lookup of unknown benchmark should fail")
+	}
+}
+
+func TestCollectorsExported(t *testing.T) {
+	if len(Collectors) != 5 {
+		t.Fatalf("Collectors = %d, want the paper's 5", len(Collectors))
+	}
+	if len(AllCollectors) != 6 {
+		t.Fatalf("AllCollectors = %d, want 6 (with GenZGC)", len(AllCollectors))
+	}
+	k, err := ParseCollector("Shenandoah")
+	if err != nil || k != Shenandoah {
+		t.Fatalf("ParseCollector = %v, %v", k, err)
+	}
+	if Serial.String() != "Serial" || ZGC.String() != "ZGC" {
+		t.Fatal("collector names broken")
+	}
+}
+
+func TestNominalMetricsExported(t *testing.T) {
+	if got := len(NominalMetrics()); got != 48 {
+		t.Fatalf("NominalMetrics() = %d, want 48", got)
+	}
+	if len(Table2Metrics) != 12 {
+		t.Fatalf("Table2Metrics = %d, want 12", len(Table2Metrics))
+	}
+}
+
+func TestRunViaPublicAPI(t *testing.T) {
+	b, _ := Lookup("fop")
+	res, err := Run(b, RunConfig{
+		HeapMB: 2 * b.MinHeapMB, Collector: G1, Iterations: 2, Events: 300, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Last().WallNS <= 0 {
+		t.Fatal("no wall time measured")
+	}
+	_, err = Run(b, RunConfig{HeapMB: 1, Collector: G1, Iterations: 1, Events: 300})
+	var oom *ErrOutOfMemory
+	if !errors.As(err, &oom) {
+		t.Fatalf("want ErrOutOfMemory from a 1MB heap, got %v", err)
+	}
+}
+
+func TestLatencyHelpers(t *testing.T) {
+	events := []LatencyEvent{{Start: 0, End: 10}, {Start: 20, End: 35}}
+	simple := SimpleLatency(events)
+	if simple[0] != 10 || simple[1] != 15 {
+		t.Fatalf("simple = %v", simple)
+	}
+	metered := MeteredLatency(events, FullSmoothing)
+	for i := range metered {
+		if metered[i] < simple[i] {
+			t.Fatal("metered below simple")
+		}
+	}
+	d := NewDistribution(simple)
+	if d.Percentile(100) != 15 {
+		t.Fatalf("p100 = %v", d.Percentile(100))
+	}
+	if got := MMU(nil, 0, 1000, 100); got != 1 {
+		t.Fatalf("MMU with no pauses = %v", got)
+	}
+}
+
+func TestToLatencyEvents(t *testing.T) {
+	evs := ToLatencyEvents([]Event{{Start: 1, End: 2}})
+	if len(evs) != 1 || evs[0].Start != 1 || evs[0].End != 2 {
+		t.Fatalf("conversion broken: %v", evs)
+	}
+}
+
+// --- Shape tests: the paper's headline findings must emerge ---
+
+// TestShapeFigure1Orderings locks in the qualitative content of Figure 1 on
+// a representative sub-suite: CPU-overhead ordering follows collector
+// introduction order, wall-clock winners are Parallel/G1, overheads shrink
+// with heap size, and ZGC cannot run 1x heaps.
+func TestShapeFigure1Orderings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-benchmark sweep")
+	}
+	var subset []*Benchmark
+	for _, n := range []string{"fop", "jython", "spring", "h2o", "cassandra"} {
+		b, _ := Lookup(n)
+		subset = append(subset, b)
+	}
+	opt := SweepOptions{
+		HeapFactors: []float64{1, 2, 6},
+		Invocations: 2, Iterations: 2, Events: 250, Seed: 9,
+	}
+	_, pts, err := SuiteLBO(subset, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(c Collector, f float64) GeomeanPoint {
+		for _, p := range pts {
+			if p.Collector == c.String() && p.HeapFactor == f {
+				return p
+			}
+		}
+		t.Fatalf("missing point %v@%v", c, f)
+		return GeomeanPoint{}
+	}
+
+	// CPU overhead at 6x follows design history: each newer collector buys
+	// latency with CPU (the paper's central regression finding).
+	order := []Collector{Serial, Parallel, G1, Shenandoah, ZGC}
+	for i := 1; i < len(order); i++ {
+		prev, cur := at(order[i-1], 6), at(order[i], 6)
+		if !prev.Complete || !cur.Complete {
+			t.Fatalf("incomplete 6x points for %v/%v", order[i-1], order[i])
+		}
+		if cur.CPU <= prev.CPU {
+			t.Errorf("CPU LBO ordering violated at 6x: %v %.3f <= %v %.3f",
+				order[i], cur.CPU, order[i-1], prev.CPU)
+		}
+	}
+
+	// Wall clock at 6x: Parallel and G1 beat Serial (single-threaded pauses)
+	// and the concurrent collectors.
+	for _, c := range []Collector{Serial, Shenandoah, ZGC} {
+		if at(Parallel, 6).Wall >= at(c, 6).Wall {
+			t.Errorf("Parallel wall %.3f should beat %v %.3f",
+				at(Parallel, 6).Wall, c, at(c, 6).Wall)
+		}
+	}
+
+	// The time-space tradeoff: overheads fall as the heap grows.
+	for _, c := range order {
+		tight, roomy := at(c, 2), at(c, 6)
+		if tight.Complete && roomy.Complete && tight.CPU < roomy.CPU*0.98 {
+			t.Errorf("%v: CPU LBO rose with heap: %.3f@2x < %.3f@6x", c, tight.CPU, roomy.CPU)
+		}
+	}
+
+	// ZGC cannot complete every benchmark at the 1x compressed-oops minimum.
+	if at(ZGC, 1).Complete {
+		t.Error("ZGC should be incomplete at 1x (no compressed pointers)")
+	}
+	// At small heaps overheads exceed 2x (paper abstract).
+	if p := at(ZGC, 2); p.Complete && p.CPU < 2 {
+		t.Errorf("ZGC CPU LBO at 2x = %.2f, expect > 2 per the paper", p.CPU)
+	}
+}
+
+// TestShapeLusearchShenandoahAnomaly locks in the Figure 5(c/d) finding:
+// Shenandoah's pacer throttles lusearch's allocation-furious mutators, so
+// its wall-clock overhead dwarfs what Parallel pays, far beyond the ratio on
+// a moderate workload.
+func TestShapeLusearchShenandoahAnomaly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	opt := SweepOptions{
+		HeapFactors: []float64{2},
+		Invocations: 2, Iterations: 2, Events: 300, Seed: 4,
+	}
+	wallRatio := func(name string) float64 {
+		b, _ := Lookup(name)
+		grid, _, err := MeasureLBO(b, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ovs, err := grid.Overheads()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var shen, par float64
+		for _, o := range ovs {
+			if !o.Completed {
+				continue
+			}
+			switch o.Collector {
+			case "Shenandoah":
+				shen = o.Wall
+			case "Parallel":
+				par = o.Wall
+			}
+		}
+		if shen == 0 || par == 0 {
+			t.Fatalf("%s: missing cells", name)
+		}
+		return shen / par
+	}
+	hot := wallRatio("lusearch")
+	calm := wallRatio("cassandra")
+	if hot <= calm*1.5 {
+		t.Errorf("lusearch Shen/Parallel wall ratio %.2f should far exceed cassandra's %.2f", hot, calm)
+	}
+}
+
+// TestShapeCassandraTaskClockSoaksIdleCores locks in the Figure 5(a/b)
+// finding: for a workload that does not saturate the machine, concurrent
+// collectors' task-clock overhead far exceeds their wall-clock overhead.
+func TestShapeCassandraTaskClockSoaksIdleCores(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	b, _ := Lookup("cassandra")
+	grid, _, err := MeasureLBO(b, SweepOptions{
+		HeapFactors: []float64{2, 3},
+		Invocations: 2, Iterations: 2, Events: 300, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ovs, err := grid.Overheads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range ovs {
+		if !o.Completed || o.Collector != "ZGC" {
+			continue
+		}
+		wallOver := o.Wall - 1
+		cpuOver := o.CPU - 1
+		if cpuOver < 2*wallOver {
+			t.Errorf("ZGC@%vx: CPU overhead %.2f should dwarf wall %.2f",
+				o.HeapFactor, cpuOver, wallOver)
+		}
+	}
+}
+
+// TestShapeH2LatencyFindings locks in the Figure 6 analysis: on h2, the
+// latency-oriented collectors do not deliver better tail latency than
+// Parallel/G1 — their CPU consumption slows every query.
+func TestShapeH2LatencyFindings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency experiment")
+	}
+	b, _ := Lookup("h2")
+	results, err := MeasureLatency(b, []float64{2}, SweepOptions{
+		Events: 1500, Iterations: 2, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p999 := map[string]float64{}
+	for _, r := range results {
+		if r.Completed {
+			p999[r.Collector] = r.Simple.Percentile(99.9)
+		}
+	}
+	best := math.Min(p999["Parallel"], p999["G1"])
+	for _, newer := range []string{"Shenandoah", "ZGC"} {
+		v, ok := p999[newer]
+		if !ok {
+			continue // may OOM at 2x h2 heap
+		}
+		if v < best*0.9 {
+			t.Errorf("%s p99.9 %.2fms should not beat Parallel/G1's %.2fms on h2",
+				newer, v/1e6, best/1e6)
+		}
+	}
+}
+
+// TestShapeMeteredVsSimple locks in the Section 4.4 property on real run
+// data: metered latency dominates simple latency at every report percentile.
+func TestShapeMeteredVsSimple(t *testing.T) {
+	b, _ := Lookup("kafka")
+	results, err := MeasureLatency(b, []float64{2}, SweepOptions{
+		Collectors: []Collector{Serial}, Events: 800, Iterations: 2, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if !r.Completed {
+		t.Fatal("run did not complete")
+	}
+	for _, p := range []float64{50, 90, 99, 99.9} {
+		if r.Metered100.Percentile(p) < r.Simple.Percentile(p)-1e-6 {
+			t.Errorf("metered p%v below simple", p)
+		}
+		if r.MeteredFull.Percentile(p) < r.Simple.Percentile(p)-1e-6 {
+			t.Errorf("metered-full p%v below simple", p)
+		}
+	}
+}
+
+// TestShapePCASuiteDiversity: the suite's workloads spread across principal
+// components rather than collapsing onto one axis (Figure 4's argument),
+// with the top four components explaining an appreciable share of variance.
+func TestShapePCASuiteDiversity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterizes several workloads")
+	}
+	var subset []*Benchmark
+	for _, n := range []string{"lusearch", "biojava", "h2o", "jme", "kafka", "avrora", "fop", "spring"} {
+		b, _ := Lookup(n)
+		subset = append(subset, b)
+	}
+	table, err := CharacterizeSuite(subset, NominalOptions{
+		Events: 200, Invocations: 2, SkipSizeVariants: true, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res, err := table.PCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExplainedVariance[0] > 0.9 {
+		t.Errorf("PC1 explains %.0f%%: suite collapsed onto one axis",
+			res.ExplainedVariance[0]*100)
+	}
+	var top4 float64
+	for c := 0; c < 4 && c < len(res.ExplainedVariance); c++ {
+		top4 += res.ExplainedVariance[c]
+	}
+	if top4 < 0.5 {
+		t.Errorf("top 4 PCs explain only %.0f%%", top4*100)
+	}
+	// Distinct workloads must be distinguishable in PC space.
+	for i := range table.Benchmarks {
+		for j := i + 1; j < len(table.Benchmarks); j++ {
+			dx := res.Projected[i][0] - res.Projected[j][0]
+			dy := res.Projected[i][1] - res.Projected[j][1]
+			if math.Hypot(dx, dy) < 0.05 {
+				t.Errorf("%s and %s are indistinguishable in PC1/PC2",
+					table.Benchmarks[i], table.Benchmarks[j])
+			}
+		}
+	}
+}
+
+func TestPublicWrappers(t *testing.T) {
+	if _, err := ParseSize("vlarge"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseSize("nope"); err == nil {
+		t.Fatal("bad size should error")
+	}
+	p := ShenandoahParams(ShenCompact, 8)
+	if p.ConcTriggerFrac >= ShenandoahParams(ShenAdaptive, 8).ConcTriggerFrac {
+		t.Fatal("compact heuristic should trigger earlier")
+	}
+	b, _ := Lookup("fop")
+	min, err := MinHeapMB(b, SweepOptions{Events: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min < b.LiveMB {
+		t.Fatalf("min heap %v below live %v", min, b.LiveMB)
+	}
+	samples, err := HeapTimeline(b, SweepOptions{Events: 300, Iterations: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no heap samples")
+	}
+	c, err := Characterize(b, NominalOptions{
+		Events: 200, Invocations: 2, WarmupIters: 6, SkipSizeVariants: true, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MinHeapMB <= 0 {
+		t.Fatal("characterization missing min heap")
+	}
+	events := []LatencyEvent{}
+	for i := int64(0); i < 500; i++ {
+		events = append(events, LatencyEvent{Start: i * 1e6, End: i*1e6 + 5e5})
+	}
+	if jops := CriticalJOPS(events, DefaultSLAs); jops <= 0 {
+		t.Fatalf("critical-jOPS = %v, want positive", jops)
+	}
+}
+
+func TestCharacterizeSuiteErrorPropagates(t *testing.T) {
+	bad := *Benchmarks()[0]
+	bad.Threads = 0 // invalid
+	if _, err := CharacterizeSuite([]*Benchmark{&bad}, NominalOptions{Events: 100}); err == nil {
+		t.Fatal("invalid descriptor should fail characterization")
+	}
+}
+
+// TestShapeGenZGCExtension: the generational extension must cut GC CPU
+// relative to single-generation ZGC on a young-garbage-heavy workload —
+// the motivation for JEP 439.
+func TestShapeGenZGCExtension(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two runs")
+	}
+	run := func(c Collector) float64 {
+		b, _ := Lookup("h2o")
+		res, err := Run(b, RunConfig{
+			HeapMB: 3 * b.MinHeapMB, Collector: c,
+			Iterations: 2, Events: 400, Seed: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.GCCPUNS
+	}
+	zgc, gen := run(ZGC), run(GenZGC)
+	if gen >= zgc {
+		t.Errorf("GenZGC GC CPU %v should be below ZGC's %v", gen, zgc)
+	}
+}
+
+// TestGCLogPublicRoundTrip exercises the exported GC-log API.
+func TestGCLogPublicRoundTrip(t *testing.T) {
+	b, _ := Lookup("fop")
+	res, err := Run(b, RunConfig{
+		HeapMB: 2 * b.MinHeapMB, Collector: Serial, Iterations: 2, Events: 300, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := FormatGCLog(res.Log, 2*b.MinHeapMB)
+	parsed, capMB, err := ParseGCLog(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capMB != 2*b.MinHeapMB {
+		t.Fatalf("capacity = %v", capMB)
+	}
+	if len(parsed.Events) != len(res.Log.Events) {
+		t.Fatalf("events = %d, want %d", len(parsed.Events), len(res.Log.Events))
+	}
+	if SummarizeGCLog(parsed) == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+// TestCalibrationSuiteWide is the calibration regression net: for every
+// workload, key measured nominal statistics must stay within band of the
+// paper's published values (the calibration targets). It is what keeps
+// future model changes from silently drifting the suite.
+func TestCalibrationSuiteWide(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterizes all 22 workloads")
+	}
+	for _, b := range Benchmarks() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			min, err := MinHeapMB(b, SweepOptions{Events: 200, Seed: 31})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Measured minimum heap within [0.5x, 1.6x] of published GMD.
+			if min < 0.5*b.MinHeapMB || min > 1.6*b.MinHeapMB {
+				t.Errorf("min heap %vMB outside band of published %vMB", min, b.MinHeapMB)
+			}
+			res, err := Run(b, RunConfig{
+				HeapMB: 2.5 * b.MinHeapMB, Collector: G1,
+				Iterations: 3, Events: 300, Seed: 31,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			last := res.Last()
+			// Measured allocation rate within a factor 3 of published ARA.
+			ara := last.Allocated / (last.WallNS / 1e3)
+			if b.ARA > 0 && (ara < b.ARA/3 || ara > b.ARA*3) {
+				t.Errorf("ARA %v outside 3x band of published %v", ara, b.ARA)
+			}
+			// Measured iteration time within a factor 3 of published PET.
+			pet := last.WallNS / 1e9
+			if pet < b.PETSeconds/3 || pet > b.PETSeconds*3 {
+				t.Errorf("PET %vs outside 3x band of published %vs", pet, b.PETSeconds)
+			}
+		})
+	}
+}

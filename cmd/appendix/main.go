@@ -1,0 +1,132 @@
+// Command appendix regenerates the paper's Appendix B: for every benchmark
+// in the suite, its description, complete nominal statistics (Tables 3-24),
+// lower-bound-overhead figures, post-GC heap-size timeline, and — for the
+// nine latency-sensitive workloads — simple and metered latency tables at 2x
+// and 6x heaps.
+//
+// Usage:
+//
+//	appendix -out appendix/                 # the whole suite
+//	appendix -bench avrora,h2 -out out/     # a subset
+//	appendix -quick                         # reduced sweep settings
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"chopin/internal/figures"
+	"chopin/internal/harness"
+	"chopin/internal/nominal"
+	"chopin/internal/workload"
+)
+
+func main() {
+	var (
+		benchList = flag.String("bench", "", "comma-separated benchmarks (default: whole suite)")
+		outDir    = flag.String("out", "appendix", "output directory")
+		events    = flag.Int("events", 0, "events per run (0 = reduced default)")
+		invoc     = flag.Int("invocations", 2, "invocations per LBO configuration")
+		seed      = flag.Uint64("seed", 42, "deterministic seed")
+		quick     = flag.Bool("quick", true, "skip size-variant min-heap searches")
+	)
+	flag.Parse()
+	check(os.MkdirAll(*outDir, 0o755))
+
+	var ds []*workload.Descriptor
+	if *benchList == "" {
+		ds = workload.All()
+	} else {
+		for _, name := range strings.Split(*benchList, ",") {
+			d, err := workload.ByName(strings.TrimSpace(name))
+			check(err)
+			ds = append(ds, d)
+		}
+	}
+
+	// Suite-wide characterization first: ranks are relative to the suite.
+	var chars []*nominal.Characterization
+	for _, d := range ds {
+		fmt.Fprintf(os.Stderr, "appendix: characterizing %s\n", d.Name)
+		c, err := nominal.Characterize(d, nominal.Options{
+			Events: *events, Seed: *seed, SkipSizeVariants: *quick,
+		})
+		check(err)
+		chars = append(chars, c)
+	}
+	table := nominal.BuildSuite(chars)
+
+	opt := harness.Options{
+		Invocations: *invoc,
+		Events:      *events,
+		Seed:        *seed,
+		HeapFactors: []float64{1, 1.5, 2, 3, 4, 6},
+	}
+	for _, d := range ds {
+		fmt.Fprintf(os.Stderr, "appendix: building section for %s\n", d.Name)
+		check(section(d, table, opt, *outDir))
+	}
+	fmt.Fprintf(os.Stderr, "appendix: written to %s\n", *outDir)
+}
+
+// section writes one benchmark's appendix chapter.
+func section(d *workload.Descriptor, table *nominal.SuiteTable,
+	opt harness.Options, outDir string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s\n\n", strings.ToUpper(d.Name), strings.Repeat("=", len(d.Name)))
+	fmt.Fprintf(&b, "%s\n", d.Description)
+	if d.NewInChopin {
+		b.WriteString("(New in the Chopin release.)\n")
+	}
+	if d.Estimated {
+		b.WriteString("(Calibration targets partially estimated; see DESIGN.md.)\n")
+	}
+	b.WriteString("\n--- Nominal statistics ---\n\n")
+	stats, err := figures.BenchmarkTable(table, d.Name)
+	if err != nil {
+		return err
+	}
+	b.WriteString(stats)
+
+	b.WriteString("\n--- Lower bound overheads ---\n\n")
+	grid, minMB, err := harness.LBOGrid(d, opt)
+	if err != nil {
+		return err
+	}
+	lboOut, err := figures.LBOFigure(grid, minMB)
+	if err != nil {
+		return err
+	}
+	b.WriteString(lboOut)
+
+	b.WriteString("\n--- Post-GC heap size (G1, 2.0x heap) ---\n\n")
+	samples, err := harness.HeapTimeline(d, opt)
+	if err != nil {
+		return err
+	}
+	b.WriteString(figures.HeapTimelineFigure(d.Name, samples))
+
+	if d.LatencySensitive {
+		b.WriteString("\n--- User-experienced latency (2x and 6x heaps) ---\n\n")
+		results, err := harness.Latency(d, []float64{2, 6}, opt)
+		if err != nil {
+			return err
+		}
+		b.WriteString(figures.LatencyFigure(results))
+		b.WriteString("\n")
+		b.WriteString(figures.PauseSummary(results))
+	}
+
+	path := filepath.Join(outDir, d.Name+".txt")
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "appendix: %v\n", err)
+		os.Exit(1)
+	}
+}

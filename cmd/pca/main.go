@@ -1,0 +1,65 @@
+// Command pca reproduces Figure 4: it characterizes every workload across
+// the nominal statistics, runs principal components analysis over the
+// metrics for which all benchmarks have values, and renders the PC1/PC2 and
+// PC3/PC4 scatter plots that demonstrate the suite's diversity.
+//
+// Usage:
+//
+//	pca                     # whole suite (takes a few minutes)
+//	pca -events 200 -quick  # faster, lower-fidelity characterization
+//	pca -loadings           # also print the most determinant metrics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chopin/internal/figures"
+	"chopin/internal/nominal"
+	"chopin/internal/report"
+	"chopin/internal/workload"
+)
+
+func main() {
+	var (
+		events   = flag.Int("events", 0, "events per characterization run (0 = default)")
+		quick    = flag.Bool("quick", false, "skip the expensive size-variant min-heap searches")
+		loadings = flag.Bool("loadings", false, "print the most determinant metrics (Table 2 selection)")
+		seed     = flag.Uint64("seed", 42, "deterministic seed")
+	)
+	flag.Parse()
+
+	opt := nominal.Options{Events: *events, Seed: *seed, SkipSizeVariants: *quick}
+	var chars []*nominal.Characterization
+	for _, d := range workload.All() {
+		fmt.Fprintf(os.Stderr, "pca: characterizing %s\n", d.Name)
+		c, err := nominal.Characterize(d, opt)
+		check(err)
+		chars = append(chars, c)
+	}
+	table := nominal.BuildSuite(chars)
+
+	out, err := figures.PCAFigure(table)
+	check(err)
+	fmt.Print(out)
+
+	if *loadings {
+		names, err := table.MostDeterminant(12, 4)
+		check(err)
+		t := report.NewTable("rank", "metric", "description")
+		for i, n := range names {
+			m, _ := nominal.MetricByName(n)
+			t.AddRowf(i+1, n, m.Description)
+		}
+		fmt.Println("most determinant nominal statistics (PCA loadings, top 4 PCs):")
+		fmt.Print(t.String())
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pca: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,69 @@
+// Command render re-renders figures from archived JSON results (written by
+// `lbo -json`), so expensive sweeps need not be re-run to regenerate their
+// figures — the offline half of the experiment workflow.
+//
+// Usage:
+//
+//	render -in results/figure1_geomean.json
+//	render -in results/lbo_cassandra.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chopin/internal/figures"
+	"chopin/internal/gc"
+	"chopin/internal/persist"
+)
+
+func main() {
+	in := flag.String("in", "", "JSON archive to render")
+	flag.Parse()
+	if *in == "" {
+		fail("missing -in")
+	}
+	a, err := persist.Load(*in)
+	check(err)
+	switch a.Kind {
+	case "geomean":
+		var names []string
+		for _, k := range gc.AllKinds {
+			names = append(names, k.String())
+		}
+		fmt.Print(figures.GeomeanFigure(a.Geomean, names))
+	case "lbo-grid":
+		// Recover the minimum heap from any factor-1 cell, else the ratio.
+		min := 0.0
+		for _, c := range a.Grid.Cells {
+			if c.HeapFactor > 0 {
+				min = c.HeapMB / c.HeapFactor
+				break
+			}
+		}
+		out, err := figures.LBOFigure(a.Grid, min)
+		check(err)
+		fmt.Print(out)
+	case "characterization":
+		fmt.Printf("%s: measured minimum heap %.1fMB, %d metrics\n",
+			a.Characterization.Workload, a.Characterization.MinHeapMB,
+			len(a.Characterization.Values))
+		for _, name := range []string{"ARA", "GMD", "GSS", "GCP", "PET", "UIP"} {
+			fmt.Printf("  %s = %.2f\n", name, a.Characterization.Value(name))
+		}
+	default:
+		fail("cannot render archive kind %q", a.Kind)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fail("%v", err)
+	}
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "render: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,228 @@
+// Command runbms is the experiment runner (the running-ng analogue from the
+// paper's artifact): it executes a JSON experiment plan — suites of LBO
+// sweeps, latency experiments and heap traces — and writes rendered figures
+// and CSV data into a results directory.
+//
+// Usage:
+//
+//	runbms -plan experiments/lbo.json -out results/
+//	runbms -plan experiments/kick-the-tires.json -out results/
+//
+// A plan looks like:
+//
+//	{
+//	  "experiments": [
+//	    {"name": "lbo", "type": "lbo", "benchmarks": ["cassandra","lusearch"],
+//	     "heap_factors": [1,2,3,4,5,6], "invocations": 3},
+//	    {"name": "latency", "type": "latency", "benchmarks": ["cassandra"],
+//	     "heap_factors": [2,6]},
+//	    {"name": "heap", "type": "heaptrace", "benchmarks": ["h2o"]}
+//	  ]
+//	}
+//
+// Omitting "benchmarks" selects the whole suite; omitting collectors or
+// factors selects the paper's defaults.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"chopin/internal/figures"
+	"chopin/internal/gc"
+	"chopin/internal/harness"
+	"chopin/internal/nominal"
+	"chopin/internal/workload"
+)
+
+// Plan is the top-level experiment file.
+type Plan struct {
+	Experiments []Experiment `json:"experiments"`
+}
+
+// Experiment is one entry of a plan.
+type Experiment struct {
+	Name        string    `json:"name"`
+	Type        string    `json:"type"` // lbo | latency | heaptrace | pca | nominal
+	Benchmarks  []string  `json:"benchmarks"`
+	Collectors  []string  `json:"collectors"`
+	HeapFactors []float64 `json:"heap_factors"`
+	Invocations int       `json:"invocations"`
+	Iterations  int       `json:"iterations"`
+	Events      int       `json:"events"`
+	Seed        uint64    `json:"seed"`
+}
+
+func main() {
+	var (
+		planPath = flag.String("plan", "", "experiment plan (JSON)")
+		outDir   = flag.String("out", "results", "output directory")
+	)
+	flag.Parse()
+	if *planPath == "" {
+		fail("missing -plan")
+	}
+	raw, err := os.ReadFile(*planPath)
+	check(err)
+	var plan Plan
+	check(json.Unmarshal(raw, &plan))
+	check(os.MkdirAll(*outDir, 0o755))
+
+	for _, exp := range plan.Experiments {
+		fmt.Fprintf(os.Stderr, "runbms: experiment %q (%s)\n", exp.Name, exp.Type)
+		check(run(exp, *outDir))
+	}
+	fmt.Fprintf(os.Stderr, "runbms: results in %s\n", *outDir)
+}
+
+func run(exp Experiment, outDir string) error {
+	ds, err := benchmarks(exp.Benchmarks)
+	if err != nil {
+		return err
+	}
+	opt := harness.Options{
+		HeapFactors: exp.HeapFactors,
+		Invocations: exp.Invocations,
+		Iterations:  exp.Iterations,
+		Events:      exp.Events,
+		Seed:        exp.Seed,
+	}
+	for _, name := range exp.Collectors {
+		k, err := gc.ParseKind(name)
+		if err != nil {
+			return err
+		}
+		opt.Collectors = append(opt.Collectors, k)
+	}
+
+	switch exp.Type {
+	case "lbo":
+		grids, pts, err := harness.SuiteLBO(ds, opt)
+		if err != nil {
+			return err
+		}
+		var names []string
+		for _, k := range optCollectors(opt) {
+			names = append(names, k.String())
+		}
+		if err := writeFile(outDir, exp.Name+"_geomean.txt",
+			figures.GeomeanFigure(pts, names)); err != nil {
+			return err
+		}
+		for _, g := range grids {
+			min := 0.0
+			for _, c := range g.Cells {
+				if c.HeapFactor == 1 || min == 0 {
+					min = c.HeapMB / c.HeapFactor
+				}
+			}
+			out, err := figures.LBOFigure(g, min)
+			if err != nil {
+				return err
+			}
+			if err := writeFile(outDir, exp.Name+"_"+g.Benchmark+".txt", out); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "latency":
+		for _, d := range ds {
+			results, err := harness.Latency(d, exp.HeapFactors, opt)
+			if err != nil {
+				return err
+			}
+			body := figures.LatencyFigure(results) + "\n" +
+				figures.PauseSummary(results) + "\n" + figures.MMUFigure(results)
+			if err := writeFile(outDir, exp.Name+"_"+d.Name+".txt", body); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "heaptrace":
+		for _, d := range ds {
+			samples, err := harness.HeapTimeline(d, opt)
+			if err != nil {
+				return err
+			}
+			if err := writeFile(outDir, exp.Name+"_"+d.Name+".txt",
+				figures.HeapTimelineFigure(d.Name, samples)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "pca", "nominal":
+		var chars []*nominal.Characterization
+		for _, d := range ds {
+			fmt.Fprintf(os.Stderr, "runbms: characterizing %s\n", d.Name)
+			c, err := nominal.Characterize(d, nominal.Options{
+				Events: exp.Events, Seed: exp.Seed, SkipSizeVariants: true,
+			})
+			if err != nil {
+				return err
+			}
+			chars = append(chars, c)
+		}
+		table := nominal.BuildSuite(chars)
+		if exp.Type == "pca" {
+			out, err := figures.PCAFigure(table)
+			if err != nil {
+				return err
+			}
+			return writeFile(outDir, exp.Name+"_pca.txt", out)
+		}
+		if err := writeFile(outDir, exp.Name+"_table2.txt", figures.Table2(table)); err != nil {
+			return err
+		}
+		for _, d := range ds {
+			out, err := figures.BenchmarkTable(table, d.Name)
+			if err != nil {
+				return err
+			}
+			if err := writeFile(outDir, exp.Name+"_"+d.Name+".txt", out); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown experiment type %q", exp.Type)
+}
+
+func optCollectors(opt harness.Options) []gc.Kind {
+	if opt.Collectors != nil {
+		return opt.Collectors
+	}
+	return gc.Kinds
+}
+
+func benchmarks(names []string) ([]*workload.Descriptor, error) {
+	if len(names) == 0 {
+		return workload.All(), nil
+	}
+	var ds []*workload.Descriptor
+	for _, n := range names {
+		d, err := workload.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		ds = append(ds, d)
+	}
+	return ds, nil
+}
+
+func writeFile(dir, name, body string) error {
+	return os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644)
+}
+
+func check(err error) {
+	if err != nil {
+		fail("%v", err)
+	}
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "runbms: "+format+"\n", args...)
+	os.Exit(1)
+}

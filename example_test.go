@@ -1,0 +1,71 @@
+package chopin_test
+
+import (
+	"fmt"
+
+	"chopin"
+)
+
+// The suite's composition mirrors the paper: 22 workloads, 9 of them
+// latency-sensitive, 8 new in the Chopin release.
+func ExampleBenchmarks() {
+	all := chopin.Benchmarks()
+	latency := chopin.LatencyBenchmarks()
+	newCount := 0
+	for _, b := range all {
+		if b.NewInChopin {
+			newCount++
+		}
+	}
+	fmt.Println(len(all), len(latency), newCount)
+	// Output: 22 9 8
+}
+
+func ExampleLookup() {
+	b, _ := chopin.Lookup("lusearch")
+	fmt.Println(b.Name, b.LatencySensitive, b.MinHeapMB)
+	// Output: lusearch true 19
+}
+
+func ExampleParseCollector() {
+	k, _ := chopin.ParseCollector("Shenandoah")
+	fmt.Println(k, k == chopin.Shenandoah)
+	// Output: Shenandoah true
+}
+
+// Simple latency is end minus actual start; metered latency charges queued
+// events from their hypothetical uniform arrival, so it can only be larger.
+func ExampleMeteredLatency() {
+	events := []chopin.LatencyEvent{
+		{Start: 0, End: 5},
+		{Start: 10, End: 15},
+		{Start: 200, End: 205},
+	}
+	fmt.Println(chopin.SimpleLatency(events))
+	fmt.Println(chopin.MeteredLatency(events, chopin.FullSmoothing))
+	// Output:
+	// [5 5 5]
+	// [5 5 5]
+}
+
+// A 10ms pause consumes half of any 20ms window that contains it.
+func ExampleMMU() {
+	pauses := []chopin.GCPause{{Start: 100e6, End: 110e6}}
+	fmt.Println(chopin.MMU(pauses, 0, 1e9, 20e6))
+	// Output: 0.5
+}
+
+func ExampleNewDistribution() {
+	d := chopin.NewDistribution([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	fmt.Println(d.Percentile(0), d.Percentile(50), d.Percentile(100))
+	// Output: 1 5.5 10
+}
+
+// Input sizes scale a workload's live set; h2's vlarge configuration needs
+// roughly 20GB, as in the paper.
+func ExampleBenchmark_Scaled() {
+	h2, _ := chopin.Lookup("h2")
+	vlarge := h2.Scaled(chopin.SizeVLarge)
+	fmt.Printf("%.1fGB\n", vlarge.MinHeapMB/1024)
+	// Output: 20.0GB
+}

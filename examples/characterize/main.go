@@ -1,0 +1,70 @@
+// characterize demonstrates the suite's workload-characterization machinery
+// (Section 5 of the paper): it measures nominal statistics for a subset of
+// workloads, prints their scores the way DaCapo's -p switch does, and runs
+// the PCA diversity analysis over them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chopin"
+)
+
+func main() {
+	// A deliberately diverse subset: the highest allocator, the most
+	// compute-dense, the most memory-bound, a GC-insensitive frame renderer
+	// and a kernel-bound message broker.
+	names := []string{"lusearch", "biojava", "h2o", "jme", "kafka"}
+	var benches []*chopin.Benchmark
+	for _, n := range names {
+		b, err := chopin.Lookup(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		benches = append(benches, b)
+	}
+
+	fmt.Println("characterizing", names, "(a minute or so)...")
+	table, err := chopin.CharacterizeSuite(benches, chopin.NominalOptions{
+		Events:           300,
+		Invocations:      3,
+		SkipSizeVariants: true,
+		Seed:             1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Print a few discriminating metrics with suite-relative ranks.
+	show := []string{"ARA", "GMD", "GSS", "GCP", "PIN", "PFS", "PKP", "UIP", "ULL"}
+	fmt.Printf("\n%-10s", "benchmark")
+	for _, m := range show {
+		fmt.Printf(" %12s", m)
+	}
+	fmt.Println()
+	for i, b := range table.Benchmarks {
+		fmt.Printf("%-10s", b)
+		for _, m := range show {
+			j := table.MetricIndex(m)
+			fmt.Printf(" %8.1f (%d)", table.Values[i][j], table.Ranks[i][j])
+		}
+		fmt.Println()
+	}
+
+	names2, res, err := table.PCA()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPCA over %d complete metrics:\n", len(names2))
+	for c := 0; c < 3 && c < len(res.ExplainedVariance); c++ {
+		fmt.Printf("  PC%d explains %4.1f%% of the variance\n",
+			c+1, res.ExplainedVariance[c]*100)
+	}
+	fmt.Println("\nprojections (PC1, PC2) — distance means behavioural difference:")
+	for i, b := range table.Benchmarks {
+		fmt.Printf("  %-10s (%6.2f, %6.2f)\n", b, res.Projected[i][0], res.Projected[i][1])
+	}
+	fmt.Println("\nWell-spread points are what a benchmark suite wants (Figure 4):")
+	fmt.Println("diversity is coverage, and clusters would mean redundant workloads.")
+}

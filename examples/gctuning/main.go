@@ -1,0 +1,84 @@
+// gctuning explores the time-space tradeoff for a service deciding how much
+// memory to give each JVM and which collector to run — the paper's
+// Recommendations H1/H2 and O1/O2 applied to a capacity-planning question:
+//
+//	"We run a cassandra-like service. How much memory buys how much CPU,
+//	 and which collector should we deploy?"
+//
+// It measures the lower-bound overhead of every production collector across
+// heap sizes and prints the tradeoff frontier plus a recommendation under a
+// given memory budget.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"chopin"
+)
+
+func main() {
+	bench, err := chopin.Lookup("cassandra")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opt := chopin.SweepOptions{
+		HeapFactors: []float64{1.25, 1.5, 2, 3, 4, 6},
+		Invocations: 2,
+		Iterations:  2,
+		Events:      400,
+		Seed:        7,
+	}
+	fmt.Printf("sweeping %s across %d collectors x %d heap sizes...\n\n",
+		bench.Name, len(chopin.Collectors), len(opt.HeapFactors))
+
+	grid, minMB, err := chopin.MeasureLBO(bench, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	overheads, err := grid.Overheads()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("minimum heap: %.0f MB. CPU overhead (LBO) by configuration:\n\n", minMB)
+	fmt.Printf("%-12s", "collector")
+	for _, f := range opt.HeapFactors {
+		fmt.Printf("  %5.2fx", f)
+	}
+	fmt.Println()
+	for _, c := range chopin.Collectors {
+		fmt.Printf("%-12s", c)
+		for _, f := range opt.HeapFactors {
+			cell := "   OOM"
+			for _, o := range overheads {
+				if o.Collector == c.String() && o.HeapFactor == f && o.Completed {
+					cell = fmt.Sprintf("%6.2f", o.CPU)
+				}
+			}
+			fmt.Printf("  %s", cell)
+		}
+		fmt.Println()
+	}
+
+	// Capacity planning: with a memory budget of 3x the minimum heap, which
+	// collector burns the least CPU while keeping wall-clock overhead sane?
+	const budget = 3.0
+	best, bestCPU := "", math.Inf(1)
+	for _, o := range overheads {
+		if !o.Completed || o.HeapFactor > budget {
+			continue
+		}
+		if o.CPU < bestCPU && o.Wall < 1.25 {
+			best, bestCPU = o.Collector, o.CPU
+		}
+	}
+	fmt.Printf("\nwithin a %.0fx memory budget (%.0f MB) and <25%% wall overhead,\n",
+		budget, budget*minMB)
+	fmt.Printf("deploy %s: lower-bound CPU overhead %.0f%%\n", best, (bestCPU-1)*100)
+	fmt.Println("\n(The frontier is exactly Figure 5 of the paper: every point you")
+	fmt.Println(" give up in memory is paid for in CPU, and the newer collectors")
+	fmt.Println(" pay more of it on the task clock than the wall clock shows.)")
+}

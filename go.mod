@@ -1,0 +1,3 @@
+module chopin
+
+go 1.22

@@ -1,0 +1,502 @@
+package gc
+
+import (
+	"fmt"
+
+	"chopin/internal/heap"
+	"chopin/internal/sim"
+	"chopin/internal/trace"
+)
+
+// Collector is a garbage collector instance bound to one simulated run. It
+// mediates every mutator allocation, schedules collection work on its own
+// simulated threads, and records telemetry.
+//
+// Protocol: the workload calls Alloc before each mutator quantum; the done
+// callback fires (immediately or after GC activity) with ok=false only on
+// OutOfMemory. Mutator threads must be registered so stop-the-world pauses
+// can block them, and mutator quanta may only be started from quantum
+// completions or Alloc callbacks — never directly from timers — so that no
+// mutator can start running inside a pause.
+type Collector struct {
+	p    Params
+	eng  *sim.Engine
+	heap *heap.Heap
+	log  *trace.Log
+
+	mutators []*sim.Thread
+
+	stwWorkers  []*sim.Thread
+	concWorkers []*sim.Thread
+
+	inPause    bool
+	pauseStart sim.Time
+	pending    []pendingAlloc
+	deferred   []func()
+
+	cycle *cycleState
+	// lastCycleAlloc is TotalAllocated when the previous concurrent cycle
+	// finished; a new cycle needs fresh allocation behind it, or an
+	// occupancy sitting just above the trigger would re-cycle continuously.
+	lastCycleAlloc float64
+	// trigger is the live concurrent-cycle trigger occupancy; with
+	// AdaptiveTrigger it moves like G1's adaptive IHOP — earlier after a
+	// degeneration, later after comfortable cycles.
+	trigger float64
+	nursery float64
+	oom     bool
+
+	// exposed run counters
+	degenerations int
+}
+
+type pendingAlloc struct {
+	bytes float64
+	done  func(bool)
+}
+
+type cycleState struct {
+	snap      heap.Snapshot
+	minor     bool // GenZGC young cycle
+	start     sim.Time
+	cpuStart  float64
+	remaining int
+	cancelled bool
+}
+
+// New binds a collector with parameters p to an engine, heap and log.
+func New(p Params, eng *sim.Engine, h *heap.Heap, log *trace.Log) *Collector {
+	if p.STWThreads < 1 {
+		p.STWThreads = 1
+	}
+	c := &Collector{p: p, eng: eng, heap: h, log: log, trigger: p.ConcTriggerFrac}
+	for i := 0; i < p.STWThreads; i++ {
+		c.stwWorkers = append(c.stwWorkers, eng.NewThread(fmt.Sprintf("gc-stw-%d", i)))
+	}
+	for i := 0; i < p.ConcThreads; i++ {
+		c.concWorkers = append(c.concWorkers, eng.NewThread(fmt.Sprintf("gc-conc-%d", i)))
+	}
+	c.resizeNursery()
+	return c
+}
+
+// Params returns the collector's configuration.
+func (c *Collector) Params() Params { return c.p }
+
+// Degenerations returns how many times a concurrent cycle lost the race and
+// fell back to a stop-the-world full collection.
+func (c *Collector) Degenerations() int { return c.degenerations }
+
+// RegisterMutator declares a mutator thread subject to STW pauses.
+func (c *Collector) RegisterMutator(t *sim.Thread) {
+	c.mutators = append(c.mutators, t)
+}
+
+// MutatorFactor returns the current execution-time multiplier mutator quanta
+// must pay for the collector's barriers.
+func (c *Collector) MutatorFactor() float64 {
+	f := 1 + c.p.BarrierBase
+	if c.cycle != nil {
+		f += c.p.BarrierConc
+	}
+	return f
+}
+
+// GCCPU returns the total CPU consumed by the collector's threads so far.
+func (c *Collector) GCCPU() float64 {
+	var sum float64
+	for _, t := range c.stwWorkers {
+		sum += t.CPU()
+	}
+	for _, t := range c.concWorkers {
+		sum += t.CPU()
+	}
+	return sum
+}
+
+// resizeNursery recomputes the young-space budget from current free space.
+func (c *Collector) resizeNursery() {
+	n := c.heap.Free() * c.p.YoungFracOfFree
+	if n < c.p.NurseryMinBytes {
+		n = c.p.NurseryMinBytes
+	}
+	if c.p.NurseryMaxBytes > 0 && n > c.p.NurseryMaxBytes {
+		n = c.p.NurseryMaxBytes
+	}
+	c.nursery = n
+}
+
+// Alloc requests bytes for a mutator; done fires when the allocation is
+// resolved. A false argument means the collector exhausted every option
+// (OutOfMemoryError).
+func (c *Collector) Alloc(bytes float64, done func(ok bool)) {
+	if c.oom {
+		done(false)
+		return
+	}
+	if c.inPause {
+		c.pending = append(c.pending, pendingAlloc{bytes, done})
+		return
+	}
+	// Pacing: while a concurrent cycle races the application, allocation is
+	// throttled as free space runs out (Shenandoah's pacer, ZGC's
+	// allocation stalls).
+	if c.cycle != nil && c.p.Pacer {
+		if stall := c.pacerStall(); stall > 0 {
+			c.log.AddStall(stall)
+			c.eng.After(stall, func() { c.allocAfterStall(bytes, done) })
+			return
+		}
+	}
+	if c.heap.TryAlloc(bytes) {
+		c.afterSuccessfulAlloc(done)
+		return
+	}
+	c.handleFailure(bytes, done)
+}
+
+// allocAfterStall re-enters Alloc once a pacing stall elapses, deferring if a
+// pause began meanwhile.
+func (c *Collector) allocAfterStall(bytes float64, done func(bool)) {
+	if c.inPause {
+		c.pending = append(c.pending, pendingAlloc{bytes, done})
+		return
+	}
+	// Do not stall twice in a row for the same request: proceed or collect.
+	if c.heap.TryAlloc(bytes) {
+		c.afterSuccessfulAlloc(done)
+		return
+	}
+	c.handleFailure(bytes, done)
+}
+
+// afterSuccessfulAlloc runs post-allocation policy: concurrent-cycle
+// triggering and nursery-exhaustion young collections. Starting a concurrent
+// cycle takes a synchronous initial pause, in which case the rest of the
+// policy (and the mutator's continuation) must wait for the pause to end.
+func (c *Collector) afterSuccessfulAlloc(done func(bool)) {
+	c.maybeStartCycle()
+	if c.inPause {
+		c.deferred = append(c.deferred, func() { c.afterSuccessfulAlloc(done) })
+		return
+	}
+	if c.p.Generational && c.heap.Young() >= c.nursery {
+		if c.p.Style == StyleConcFull {
+			// GenZGC: minor collections are concurrent too.
+			c.maybeStartMinorCycle()
+			done(true)
+			return
+		}
+		c.stwYoung(func() { done(true) })
+		return
+	}
+	done(true)
+}
+
+// pacerStall returns how long an allocating mutator must stall right now.
+func (c *Collector) pacerStall() float64 {
+	threshold := c.p.PacerFreeFrac * c.heap.Capacity()
+	free := c.heap.Free()
+	if free >= threshold || threshold <= 0 {
+		return 0
+	}
+	deficit := 1 - free/threshold
+	return deficit * c.p.PacerMaxStallNS
+}
+
+// handleFailure escalates an allocation failure: young collection first for
+// generational collectors, then a full (or degenerate) STW collection, then
+// OOM.
+func (c *Collector) handleFailure(bytes float64, done func(bool)) {
+	fullKind := trace.GCFull
+	if c.p.Style == StyleConcFull {
+		fullKind = trace.GCDegenerate
+	}
+	full := func() {
+		if c.cycle != nil {
+			c.cancelCycle()
+		}
+		c.degenerationsIf(fullKind)
+		// Any full collection means the concurrent policy started too late
+		// (G1 logs these as full GCs, not degenerations).
+		c.adaptTrigger(-0.08)
+		c.stwFull(fullKind, func() {
+			if c.heap.TryAlloc(bytes) {
+				done(true)
+				return
+			}
+			c.oom = true
+			done(false)
+		})
+	}
+	if c.cycle != nil {
+		// The concurrent cycle lost the race.
+		full()
+		return
+	}
+	if c.p.Generational && c.heap.Young() > 0 {
+		c.stwYoung(func() {
+			if c.heap.TryAlloc(bytes) {
+				done(true)
+				return
+			}
+			full()
+		})
+		return
+	}
+	full()
+}
+
+func (c *Collector) degenerationsIf(kind trace.GCKind) {
+	if kind == trace.GCDegenerate {
+		c.degenerations++
+	}
+}
+
+// adaptTrigger nudges the concurrent trigger occupancy when the collector's
+// AdaptiveTrigger policy is enabled, clamped to a sane band.
+func (c *Collector) adaptTrigger(delta float64) {
+	if !c.p.AdaptiveTrigger {
+		return
+	}
+	c.trigger += delta
+	if c.trigger < 0.20 {
+		c.trigger = 0.20
+	}
+	if c.trigger > 0.75 {
+		c.trigger = 0.75
+	}
+}
+
+// stwYoung performs a stop-the-world young collection.
+func (c *Collector) stwYoung(after func()) {
+	st := c.heap.CollectYoung()
+	serial := c.p.PauseFloorNS +
+		c.p.MarkNsPerByte*st.ScannedBytes + c.p.CopyNsPerByte*st.CopiedBytes
+	c.pauseWorld(serial, func(cpu, wall float64) {
+		c.resizeNursery()
+		c.logEvent(trace.GCYoung, st, cpu, wall)
+		after()
+	})
+}
+
+// stwFull performs a stop-the-world full collection (or a degenerate one for
+// a concurrent collector that lost the race).
+func (c *Collector) stwFull(kind trace.GCKind, after func()) {
+	st := c.heap.CollectFull()
+	serial := c.p.PauseFloorNS +
+		c.p.MarkNsPerByte*st.ScannedBytes + c.p.CopyNsPerByte*st.CopiedBytes
+	c.pauseWorld(serial, func(cpu, wall float64) {
+		c.resizeNursery()
+		c.logEvent(kind, st, cpu, wall)
+		after()
+	})
+}
+
+// maybeStartCycle begins a concurrent (major) cycle when the trigger
+// occupancy is crossed.
+func (c *Collector) maybeStartCycle() {
+	if c.cycle != nil || c.p.ConcTriggerFrac <= 0 {
+		return
+	}
+	occ := c.heap.Used()
+	if c.p.Style == StyleConcOld {
+		occ = c.heap.OldLive() + c.heap.OldDead()
+	}
+	cap := c.heap.Capacity()
+	if occ < c.trigger*cap {
+		return
+	}
+	// Cycle spacing: unless the heap is nearly exhausted, require fresh
+	// allocation worth 20% of capacity since the previous cycle.
+	if occ < 0.85*cap && c.heap.TotalAllocated()-c.lastCycleAlloc < 0.2*cap {
+		return
+	}
+	c.startCycle(false)
+}
+
+// maybeStartMinorCycle begins a GenZGC-style concurrent young collection.
+func (c *Collector) maybeStartMinorCycle() {
+	if c.cycle != nil {
+		return
+	}
+	c.startCycle(true)
+}
+
+// startCycle snapshots the heap, takes the initial tiny pause, and launches
+// concurrent workers.
+func (c *Collector) startCycle(minor bool) {
+	snap, traced := c.heap.SnapshotForConcurrent()
+	if minor {
+		traced = c.heap.Young() * 0.5
+	}
+	cy := &cycleState{snap: snap, minor: minor, start: c.eng.Now(), cpuStart: c.concCPU()}
+	c.cycle = cy
+	c.pauseWorld(c.p.TinyPauseNS, func(cpu, wall float64) {
+		if cy.cancelled {
+			return
+		}
+		work := c.p.MarkNsPerByte*traced + c.p.CopyNsPerByte*traced*c.p.EvacFraction
+		k := len(c.concWorkers)
+		work *= 1 + c.p.ParLoss*float64(k-1)
+		cy.remaining = k
+		share := work / float64(k)
+		for _, w := range c.concWorkers {
+			w.Exec(share, func() {
+				cy.remaining--
+				if cy.remaining == 0 && !cy.cancelled {
+					c.tryFinishCycle(cy)
+				}
+			})
+		}
+	})
+}
+
+// concCPU sums concurrent workers' CPU, for per-cycle attribution.
+func (c *Collector) concCPU() float64 {
+	var sum float64
+	for _, t := range c.concWorkers {
+		sum += t.CPU()
+	}
+	return sum
+}
+
+// tryFinishCycle completes a concurrent cycle with its final pause; if the
+// world is currently paused (e.g. a G1 young collection is in flight), the
+// completion is deferred to the end of that pause.
+func (c *Collector) tryFinishCycle(cy *cycleState) {
+	if cy.cancelled {
+		return
+	}
+	if c.inPause {
+		c.deferred = append(c.deferred, func() { c.tryFinishCycle(cy) })
+		return
+	}
+	st := c.heap.FinishConcurrent(cy.snap)
+	finalWork := c.p.TinyPauseNS
+	kind := trace.GCConcurrent
+	if c.p.Style == StyleConcOld {
+		// G1: the cycle ends in mixed evacuation pauses that copy live data
+		// out of the most-garbage-rich regions.
+		finalWork += c.p.CopyNsPerByte * st.ReclaimedBytes * c.p.MixedCopyFrac
+		kind = trace.GCMixed
+	}
+	c.pauseWorld(finalWork, func(cpu, wall float64) {
+		concCPU := c.concCPU() - cy.cpuStart
+		c.cycle = nil
+		c.lastCycleAlloc = c.heap.TotalAllocated()
+		if c.heap.Free() > 0.5*c.heap.Capacity() {
+			c.adaptTrigger(+0.02) // comfortable finish: collect later next time
+		}
+		c.resizeNursery()
+		ev := trace.GCEvent{
+			Kind:      kind,
+			Start:     cy.start,
+			End:       c.eng.Now(),
+			PauseNS:   wall,
+			CPUNS:     cpu + concCPU,
+			Reclaimed: st.ReclaimedBytes,
+			Copied:    st.CopiedBytes,
+			UsedAfter: c.heap.Used(),
+			LiveAfter: c.heap.TargetLive(),
+		}
+		c.log.AddEvent(ev)
+	})
+}
+
+// cancelCycle aborts the active concurrent cycle (degeneration): workers
+// abandon their remaining work; CPU already burned is logged as a fruitless
+// concurrent event.
+func (c *Collector) cancelCycle() {
+	cy := c.cycle
+	if cy == nil {
+		return
+	}
+	cy.cancelled = true
+	c.cycle = nil
+	c.lastCycleAlloc = c.heap.TotalAllocated()
+	for _, w := range c.concWorkers {
+		if w.State() == sim.StateRunnable {
+			w.Abandon()
+		}
+	}
+	c.log.AddEvent(trace.GCEvent{
+		Kind:      trace.GCConcurrent,
+		Start:     cy.start,
+		End:       c.eng.Now(),
+		CPUNS:     c.concCPU() - cy.cpuStart,
+		UsedAfter: c.heap.Used(),
+		LiveAfter: c.heap.TargetLive(),
+	})
+}
+
+// pauseWorld blocks every runnable mutator, executes serialCPU of GC work on
+// the STW gang (inflated by the parallel-efficiency loss), and calls onEnd
+// with the gang CPU and the wall duration before releasing the mutators and
+// retrying deferred allocations.
+func (c *Collector) pauseWorld(serialCPU float64, onEnd func(cpu, wall float64)) {
+	if c.inPause {
+		panic("gc: nested world pause")
+	}
+	c.inPause = true
+	c.pauseStart = c.eng.Now()
+	var blocked []*sim.Thread
+	for _, m := range c.mutators {
+		if m.State() == sim.StateRunnable {
+			m.Block()
+			blocked = append(blocked, m)
+		}
+	}
+	k := c.p.STWThreads
+	total := serialCPU * (1 + c.p.ParLoss*float64(k-1))
+	share := total / float64(k)
+	remaining := k
+	for i := 0; i < k; i++ {
+		c.stwWorkers[i].Exec(share, func() {
+			remaining--
+			if remaining == 0 {
+				c.endPause(blocked, total, onEnd)
+			}
+		})
+	}
+}
+
+// endPause closes out a world pause: telemetry, mutator release, deferred
+// completions and pending allocation retries.
+func (c *Collector) endPause(blocked []*sim.Thread, cpu float64, onEnd func(cpu, wall float64)) {
+	now := c.eng.Now()
+	wall := float64(now - c.pauseStart)
+	c.log.AddPause(trace.Pause{Start: c.pauseStart, End: now})
+	c.inPause = false
+	for _, m := range blocked {
+		m.Unblock()
+	}
+	onEnd(cpu, wall)
+	// Deferred cycle completions run before allocation retries so reclaimed
+	// space is visible to them; both loops stop if a new pause begins.
+	for !c.inPause && len(c.deferred) > 0 {
+		fn := c.deferred[0]
+		c.deferred = c.deferred[1:]
+		fn()
+	}
+	for !c.inPause && len(c.pending) > 0 {
+		pa := c.pending[0]
+		c.pending = c.pending[1:]
+		c.Alloc(pa.bytes, pa.done)
+	}
+}
+
+// logEvent records a completed STW collection.
+func (c *Collector) logEvent(kind trace.GCKind, st heap.CollectStats, cpu, wall float64) {
+	c.log.AddEvent(trace.GCEvent{
+		Kind:      kind,
+		Start:     c.eng.Now() - int64(wall),
+		End:       c.eng.Now(),
+		PauseNS:   wall,
+		CPUNS:     cpu,
+		Reclaimed: st.ReclaimedBytes,
+		Copied:    st.CopiedBytes,
+		UsedAfter: c.heap.Used(),
+		LiveAfter: c.heap.TargetLive(),
+	})
+}

@@ -1,0 +1,390 @@
+package gc
+
+import (
+	"testing"
+
+	"chopin/internal/heap"
+	"chopin/internal/sim"
+	"chopin/internal/trace"
+)
+
+const mb = 1 << 20
+
+func testDemo() heap.Demographics {
+	return heap.Demographics{
+		YoungSurvival:   0.10,
+		RefNursery:      16 * mb,
+		SurvivalDecay:   0.4,
+		CompactFraction: 0.5,
+		AvgObjectBytes:  64,
+	}
+}
+
+// driver runs a single synthetic mutator against a collector: quanta of
+// fixed CPU cost, each preceded by an allocation.
+type driver struct {
+	eng  *sim.Engine
+	h    *heap.Heap
+	log  *trace.Log
+	col  *Collector
+	mut  *sim.Thread
+	oom  bool
+	done int
+}
+
+func newDriver(kind Kind, heapMB float64, cores int) *driver {
+	p := kind.Params(cores)
+	eng := sim.NewEngine(cores*2, nil)
+	h := heap.New(heap.Config{SizeBytes: heapMB * mb, Expansion: p.Expansion}, testDemo())
+	log := &trace.Log{}
+	col := New(p, eng, h, log)
+	d := &driver{eng: eng, h: h, log: log, col: col, mut: eng.NewThread("mutator")}
+	col.RegisterMutator(d.mut)
+	return d
+}
+
+// run executes `quanta` mutator steps, each allocating bytesPer and burning
+// quantumNS of CPU, then drains the engine.
+func (d *driver) run(t *testing.T, quanta int, quantumNS, bytesPer float64) {
+	t.Helper()
+	i := 0
+	var step func()
+	step = func() {
+		if i >= quanta {
+			return
+		}
+		i++
+		d.col.Alloc(bytesPer, func(ok bool) {
+			if !ok {
+				d.oom = true
+				return
+			}
+			d.done++
+			d.mut.Exec(quantumNS*d.col.MutatorFactor(), step)
+		})
+	}
+	step()
+	d.eng.SetEventLimit(50_000_000)
+	if err := d.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerialYoungCollectionsHappen(t *testing.T) {
+	d := newDriver(Serial, 32, 4)
+	d.h.SetTargetLive(4 * mb)
+	// Allocate ~200MB through a 32MB heap: many young GCs required.
+	d.run(t, 2000, 10*sim.Microsecond, 100*1024)
+	if d.oom {
+		t.Fatal("unexpected OOM")
+	}
+	if n := d.log.Count(trace.GCYoung); n == 0 {
+		t.Fatal("no young collections in an allocation-heavy run")
+	}
+	if d.log.TotalPauseNS() <= 0 {
+		t.Fatal("no pause time recorded")
+	}
+	if d.log.TotalGCCPUNS() <= 0 {
+		t.Fatal("no GC CPU recorded")
+	}
+}
+
+func TestPausesExtendWallClock(t *testing.T) {
+	d := newDriver(Serial, 32, 4)
+	d.h.SetTargetLive(4 * mb)
+	d.run(t, 1000, 10*sim.Microsecond, 100*1024)
+	pureCompute := float64(1000) * 10 * sim.Microsecond * d.col.MutatorFactor()
+	if float64(d.eng.Now()) < pureCompute+d.log.TotalPauseNS()*0.99 {
+		t.Fatalf("wall %v should include compute %v plus pauses %v",
+			d.eng.Now(), pureCompute, d.log.TotalPauseNS())
+	}
+}
+
+func TestOOMWhenLiveExceedsCapacity(t *testing.T) {
+	d := newDriver(Serial, 16, 4)
+	d.h.SetTargetLive(100 * mb) // cannot fit
+	d.run(t, 5000, sim.Microsecond, 256*1024)
+	if !d.oom {
+		t.Fatal("expected OOM when live set exceeds heap")
+	}
+	if n := d.log.Count(trace.GCFull); n == 0 {
+		t.Fatal("OOM should only follow a last-ditch full collection")
+	}
+}
+
+func TestZGCFootprintCausesOOMWhereSerialFits(t *testing.T) {
+	// Live set 12MB in a 16MB heap: fits compressed, not at 1.45x expansion.
+	runOne := func(kind Kind) bool {
+		d := newDriver(kind, 16, 4)
+		d.h.SetTargetLive(12 * mb)
+		d.run(t, 3000, sim.Microsecond, 64*1024)
+		return d.oom
+	}
+	if runOne(Serial) {
+		t.Fatal("Serial should fit a 12MB live set in 16MB")
+	}
+	if !runOne(ZGC) {
+		t.Fatal("ZGC (no compressed oops) should OOM on a 1.33x heap")
+	}
+}
+
+func TestConcurrentCollectorRunsCycles(t *testing.T) {
+	d := newDriver(Shenandoah, 64, 8)
+	d.h.SetTargetLive(8 * mb)
+	d.run(t, 4000, 10*sim.Microsecond, 128*1024)
+	if d.oom {
+		t.Fatal("unexpected OOM")
+	}
+	conc := d.log.Count(trace.GCConcurrent)
+	if conc == 0 {
+		t.Fatal("no concurrent cycles for Shenandoah under allocation pressure")
+	}
+	// Concurrent collectors take only tiny pauses in the happy path.
+	if max := d.log.MaxPauseNS(); max > 5*sim.Millisecond {
+		t.Fatalf("max pause %v ns too long for a concurrent collector", max)
+	}
+}
+
+func TestG1MixedCycleReclaimsOldGarbage(t *testing.T) {
+	d := newDriver(G1, 48, 8)
+	// High survival into old space forces old-occupancy growth.
+	d.h.SetTargetLive(16 * mb)
+	d.run(t, 6000, 5*sim.Microsecond, 128*1024)
+	if d.oom {
+		t.Fatal("unexpected OOM")
+	}
+	if n := d.log.Count(trace.GCMixed); n == 0 {
+		t.Fatal("G1 never completed a concurrent mark + mixed evacuation")
+	}
+}
+
+func TestPacerStallsUnderPressure(t *testing.T) {
+	d := newDriver(Shenandoah, 24, 4)
+	d.h.SetTargetLive(10 * mb)
+	d.run(t, 6000, sim.Microsecond, 256*1024) // furious allocation
+	if d.log.StallNS <= 0 {
+		t.Fatal("expected pacer stalls under allocation pressure")
+	}
+}
+
+func TestDegenerationWhenCycleLosesRace(t *testing.T) {
+	d := newDriver(ZGC, 24, 2)
+	d.h.SetTargetLive(10 * mb)
+	d.run(t, 8000, sim.Microsecond, 512*1024)
+	if d.oom {
+		t.Fatal("unexpected OOM")
+	}
+	if d.col.Degenerations() == 0 {
+		t.Fatal("expected degenerate collections when allocation outruns the cycle")
+	}
+	if n := d.log.Count(trace.GCDegenerate); n != d.col.Degenerations() {
+		t.Fatalf("degenerate events %d != counter %d", n, d.col.Degenerations())
+	}
+}
+
+func TestMutatorFactorRisesDuringCycle(t *testing.T) {
+	p := Shenandoah.Params(8)
+	eng := sim.NewEngine(16, nil)
+	h := heap.New(heap.Config{SizeBytes: 64 * mb, Expansion: 1}, testDemo())
+	log := &trace.Log{}
+	col := New(p, eng, h, log)
+	base := col.MutatorFactor()
+	if base != 1+p.BarrierBase {
+		t.Fatalf("idle factor = %v, want %v", base, 1+p.BarrierBase)
+	}
+	col.cycle = &cycleState{}
+	if got := col.MutatorFactor(); got != 1+p.BarrierBase+p.BarrierConc {
+		t.Fatalf("cycle factor = %v, want %v", got, 1+p.BarrierBase+p.BarrierConc)
+	}
+}
+
+func TestParallelBeatsSerialOnPauseTimeButNotCPU(t *testing.T) {
+	run := func(kind Kind) (pause, cpu float64) {
+		d := newDriver(kind, 32, 8)
+		d.h.SetTargetLive(6 * mb)
+		d.run(t, 3000, 5*sim.Microsecond, 128*1024)
+		if d.oom {
+			t.Fatalf("%v OOM", kind)
+		}
+		return d.log.TotalPauseNS(), d.log.TotalGCCPUNS()
+	}
+	serialPause, serialCPU := run(Serial)
+	parPause, parCPU := run(Parallel)
+	if parPause >= serialPause {
+		t.Fatalf("Parallel pause %v should beat Serial %v", parPause, serialPause)
+	}
+	if parCPU <= serialCPU {
+		t.Fatalf("Parallel CPU %v should exceed Serial %v (parallelism is never free)",
+			parCPU, serialCPU)
+	}
+}
+
+func TestPausesAreOrderedAndDisjoint(t *testing.T) {
+	d := newDriver(G1, 32, 4)
+	d.h.SetTargetLive(8 * mb)
+	d.run(t, 3000, 5*sim.Microsecond, 128*1024)
+	prevEnd := int64(-1)
+	for i, p := range d.log.Pauses {
+		if p.End < p.Start {
+			t.Fatalf("pause %d inverted: %+v", i, p)
+		}
+		if p.Start < prevEnd {
+			t.Fatalf("pause %d overlaps previous (start %d < prev end %d)", i, p.Start, prevEnd)
+		}
+		prevEnd = p.End
+	}
+	if last := d.log.Pauses[len(d.log.Pauses)-1].End; last > d.eng.Now() {
+		t.Fatalf("pause ends after simulation end: %d > %d", last, d.eng.Now())
+	}
+}
+
+func TestHeapOccupancyNeverExceedsCapacityDuringRun(t *testing.T) {
+	for _, kind := range AllKinds {
+		d := newDriver(kind, 40, 4)
+		d.h.SetTargetLive(8 * mb)
+		d.run(t, 2000, 2*sim.Microsecond, 200*1024)
+		if d.h.Used() > d.h.Capacity()+1 {
+			t.Fatalf("%v: used %v exceeds capacity %v", kind, d.h.Used(), d.h.Capacity())
+		}
+		for _, e := range d.log.Events {
+			if e.UsedAfter > d.h.Capacity()+1 {
+				t.Fatalf("%v: logged occupancy %v exceeds capacity", kind, e.UsedAfter)
+			}
+		}
+	}
+}
+
+func TestAllocDuringOOMFailsFast(t *testing.T) {
+	d := newDriver(Serial, 16, 2)
+	d.h.SetTargetLive(100 * mb)
+	d.run(t, 100, sim.Microsecond, mb)
+	if !d.oom {
+		t.Fatal("setup: expected OOM")
+	}
+	called := false
+	d.col.Alloc(1024, func(ok bool) {
+		called = true
+		if ok {
+			t.Error("allocation succeeded after OOM")
+		}
+	})
+	if !called {
+		t.Fatal("done callback not invoked synchronously after OOM")
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, k := range AllKinds {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("Epsilon"); err == nil {
+		t.Fatal("expected error for unknown collector")
+	}
+}
+
+func TestPresetSanity(t *testing.T) {
+	for _, k := range AllKinds {
+		p := k.Params(16)
+		if p.STWThreads < 1 {
+			t.Errorf("%v: no STW threads", k)
+		}
+		if p.Expansion < 1 {
+			t.Errorf("%v: expansion %v < 1", k, p.Expansion)
+		}
+		if p.Style != StyleSTW && p.ConcThreads < 1 {
+			t.Errorf("%v: concurrent style without concurrent threads", k)
+		}
+		if k == Serial && p.STWThreads != 1 {
+			t.Errorf("Serial must use exactly one GC thread, got %d", p.STWThreads)
+		}
+	}
+}
+
+func TestBarrierTaxOrderingMatchesDesignHistory(t *testing.T) {
+	// Newer latency-oriented collectors pay more mutator tax.
+	serial := Serial.Params(16).BarrierBase
+	g1 := G1.Params(16).BarrierBase
+	shen := Shenandoah.Params(16).BarrierBase
+	if !(serial < g1 && g1 < shen) {
+		t.Fatalf("barrier taxes out of order: serial %v, g1 %v, shen %v", serial, g1, shen)
+	}
+}
+
+func TestAdaptiveTriggerLearnsFromFullGCs(t *testing.T) {
+	// G1 under pressure: the adaptive IHOP must lower the trigger after
+	// full collections so later cycles start earlier.
+	d := newDriver(G1, 24, 4)
+	d.h.SetTargetLive(9 * mb)
+	d.run(t, 4000, 2*sim.Microsecond, 256*1024)
+	if d.oom {
+		t.Fatal("unexpected OOM")
+	}
+	if d.col.trigger >= d.col.p.ConcTriggerFrac {
+		t.Fatalf("trigger %v did not adapt below preset %v under pressure",
+			d.col.trigger, d.col.p.ConcTriggerFrac)
+	}
+	if d.col.trigger < 0.20 {
+		t.Fatalf("trigger %v escaped its clamp", d.col.trigger)
+	}
+}
+
+func TestStaticCollectorsDoNotAdapt(t *testing.T) {
+	d := newDriver(Shenandoah, 24, 4) // preset has AdaptiveTrigger=false
+	d.h.SetTargetLive(9 * mb)
+	d.run(t, 3000, 2*sim.Microsecond, 256*1024)
+	if d.col.trigger != d.col.p.ConcTriggerFrac {
+		t.Fatalf("non-adaptive trigger moved: %v != %v",
+			d.col.trigger, d.col.p.ConcTriggerFrac)
+	}
+}
+
+func TestShenandoahModes(t *testing.T) {
+	for _, m := range []ShenandoahMode{ShenAdaptive, ShenStatic, ShenCompact, ShenAggressive} {
+		got, err := ParseShenandoahMode(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseShenandoahMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseShenandoahMode("bogus"); err == nil {
+		t.Fatal("unknown mode should error")
+	}
+	adaptive := ShenandoahParams(ShenAdaptive, 8)
+	compact := ShenandoahParams(ShenCompact, 8)
+	aggressive := ShenandoahParams(ShenAggressive, 8)
+	if !(aggressive.ConcTriggerFrac < compact.ConcTriggerFrac &&
+		compact.ConcTriggerFrac < adaptive.ConcTriggerFrac) {
+		t.Fatal("mode triggers out of order")
+	}
+	if ShenandoahParams(ShenStatic, 8).Pacer {
+		t.Fatal("static heuristic should not pace")
+	}
+}
+
+func TestShenandoahCompactTradesCPUForFootprint(t *testing.T) {
+	run := func(mode ShenandoahMode) (gcCPU, meanFootprint float64) {
+		p := ShenandoahParams(mode, 4)
+		eng := sim.NewEngine(8, nil)
+		h := heap.New(heap.Config{SizeBytes: 48 * mb, Expansion: 1}, testDemo())
+		log := &trace.Log{}
+		col := New(p, eng, h, log)
+		d := &driver{eng: eng, h: h, log: log, col: col, mut: eng.NewThread("mutator")}
+		col.RegisterMutator(d.mut)
+		d.h.SetTargetLive(8 * mb)
+		d.run(t, 4000, 5*sim.Microsecond, 128*1024)
+		if d.oom {
+			t.Fatalf("%v OOM", mode)
+		}
+		return col.GCCPU(), log.FootprintAUC(0, eng.Now())
+	}
+	adCPU, adFoot := run(ShenAdaptive)
+	coCPU, coFoot := run(ShenCompact)
+	if coCPU <= adCPU {
+		t.Fatalf("compact should burn more GC CPU: %v vs %v", coCPU, adCPU)
+	}
+	if coFoot >= adFoot {
+		t.Fatalf("compact should hold a smaller footprint: %v vs %v", coFoot, adFoot)
+	}
+}

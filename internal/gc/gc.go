@@ -1,0 +1,263 @@
+// Package gc implements the five OpenJDK production garbage collectors the
+// paper evaluates — Serial (1998), Parallel (2005), G1 (2009), Shenandoah
+// (2014) and ZGC (2018) — plus Generational ZGC as an extension, as cost
+// models over the simulated heap and machine.
+//
+// Each collector is the same engine configured with the design decisions
+// that drive the paper's findings:
+//
+//   - when it collects (nursery exhaustion, occupancy-triggered concurrent
+//     cycles, allocation failure),
+//   - where the work runs (a single thread, a parallel STW gang with
+//     imperfect scaling, or concurrent workers that soak otherwise-idle
+//     cores and therefore show up in task clock but not wall clock),
+//   - what the mutator pays continuously (write/load barrier taxes, higher
+//     while a concurrent cycle is active),
+//   - how it degrades (Shenandoah's pacer stalls allocating mutators when
+//     reclamation falls behind; concurrent collectors fall back to a
+//     degenerate STW full collection on exhaustion), and
+//   - how much memory it wastes (ZGC runs without compressed object
+//     pointers, inflating its footprint so it cannot run 1x minimum heaps).
+//
+// The collector records everything the paper's methodologies need into a
+// trace.Log: pause intervals, per-event GC CPU, reclaimed bytes and post-GC
+// occupancy.
+package gc
+
+import (
+	"fmt"
+
+	"chopin/internal/sim"
+)
+
+// Kind names a collector design.
+type Kind int
+
+// The collectors of OpenJDK 21.
+const (
+	Serial Kind = iota
+	Parallel
+	G1
+	Shenandoah
+	ZGC
+	GenZGC // JEP 439 generational ZGC, an extension beyond the paper's five
+)
+
+// Kinds lists the paper's five production collectors in introduction order.
+var Kinds = []Kind{Serial, Parallel, G1, Shenandoah, ZGC}
+
+// AllKinds additionally includes the GenZGC extension.
+var AllKinds = []Kind{Serial, Parallel, G1, Shenandoah, ZGC, GenZGC}
+
+func (k Kind) String() string {
+	switch k {
+	case Serial:
+		return "Serial"
+	case Parallel:
+		return "Parallel"
+	case G1:
+		return "G1"
+	case Shenandoah:
+		return "Shenandoah"
+	case ZGC:
+		return "ZGC"
+	case GenZGC:
+		return "GenZGC"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind resolves a collector name (case-sensitive, as printed by String).
+func ParseKind(s string) (Kind, error) {
+	for _, k := range AllKinds {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("gc: unknown collector %q", s)
+}
+
+// Style describes a collector's concurrency structure.
+type Style int
+
+// Collector styles.
+const (
+	// StyleSTW collects only in stop-the-world pauses (Serial, Parallel).
+	StyleSTW Style = iota
+	// StyleConcOld runs STW young collections plus an occupancy-triggered
+	// concurrent old-marking cycle with a mixed evacuation pause (G1).
+	StyleConcOld
+	// StyleConcFull performs marking and evacuation concurrently with tiny
+	// bracketing pauses (Shenandoah, ZGC, GenZGC).
+	StyleConcFull
+)
+
+// Params is a collector configuration; Kind.Params returns production-like
+// presets.
+type Params struct {
+	Kind         Kind
+	Generational bool
+	Style        Style
+
+	// STWThreads is the gang size for stop-the-world work.
+	STWThreads int
+	// ConcThreads is the worker count for concurrent phases.
+	ConcThreads int
+	// ParLoss is the per-extra-thread efficiency loss of parallel GC work:
+	// a gang of k threads does serial work inflated by 1 + ParLoss*(k-1).
+	ParLoss float64
+
+	// BarrierBase is the always-on mutator slowdown from the collector's
+	// write/read barriers; BarrierConc is the additional tax while a
+	// concurrent cycle is active.
+	BarrierBase float64
+	BarrierConc float64
+
+	// Expansion is the heap footprint multiplier (1 for compressed-oops
+	// collectors; ZGC cannot compress pointers).
+	Expansion float64
+
+	// Pacer enables allocation throttling while a concurrent cycle is
+	// running: when free space falls below PacerFreeFrac of capacity,
+	// allocations stall for up to PacerMaxStallNS.
+	Pacer           bool
+	PacerFreeFrac   float64
+	PacerMaxStallNS float64
+
+	// MarkNsPerByte and CopyNsPerByte are the tracing and evacuation costs.
+	MarkNsPerByte float64
+	CopyNsPerByte float64
+
+	// PauseFloorNS is the fixed serial CPU cost of a young/full STW pause;
+	// TinyPauseNS is the fixed cost of a concurrent cycle's bracketing
+	// pauses.
+	PauseFloorNS float64
+	TinyPauseNS  float64
+
+	// Nursery policy: the young space is YoungFracOfFree of post-GC free
+	// space, clamped to [NurseryMinBytes, NurseryMaxBytes].
+	YoungFracOfFree float64
+	NurseryMinBytes float64
+	NurseryMaxBytes float64
+
+	// ConcTriggerFrac starts a concurrent cycle when occupancy (old
+	// occupancy for StyleConcOld) exceeds this fraction of capacity.
+	ConcTriggerFrac float64
+	// EvacFraction estimates the share of traced bytes a concurrent cycle
+	// evacuates (its copy cost).
+	EvacFraction float64
+	// MixedCopyFrac is the share of reclaimed old bytes G1's mixed
+	// evacuation pause must copy.
+	MixedCopyFrac float64
+	// AdaptiveTrigger lets the collector move ConcTriggerFrac at runtime
+	// like G1's adaptive IHOP: earlier after a degeneration, later after
+	// cycles that finish with plenty of headroom.
+	AdaptiveTrigger bool
+}
+
+// Params returns the production-like preset for the collector on a machine
+// with the given core count. The relative values encode the design history
+// the paper describes: each newer collector buys latency with CPU.
+func (k Kind) Params(cores int) Params {
+	if cores < 1 {
+		cores = 1
+	}
+	conc := cores / 4
+	if conc < 1 {
+		conc = 1
+	}
+	base := Params{
+		Kind:            k,
+		Expansion:       1,
+		MarkNsPerByte:   0.7,
+		CopyNsPerByte:   0.9,
+		PauseFloorNS:    150 * sim.Microsecond,
+		TinyPauseNS:     50 * sim.Microsecond,
+		YoungFracOfFree: 0.35,
+		NurseryMinBytes: 2 << 20,
+		NurseryMaxBytes: 512 << 20,
+		EvacFraction:    0.35,
+	}
+	switch k {
+	case Serial:
+		base.Generational = true
+		base.Style = StyleSTW
+		base.STWThreads = 1
+		base.BarrierBase = 0.010
+	case Parallel:
+		base.Generational = true
+		base.Style = StyleSTW
+		base.STWThreads = cores
+		base.ParLoss = 0.030
+		base.BarrierBase = 0.012
+		base.PauseFloorNS = 250 * sim.Microsecond
+	case G1:
+		base.Generational = true
+		base.Style = StyleConcOld
+		base.STWThreads = cores
+		base.ConcThreads = conc
+		base.ParLoss = 0.035
+		base.BarrierBase = 0.045
+		base.BarrierConc = 0.020
+		base.MarkNsPerByte = 0.85
+		base.CopyNsPerByte = 1.1
+		base.PauseFloorNS = 350 * sim.Microsecond
+		base.ConcTriggerFrac = 0.45
+		base.MixedCopyFrac = 0.30
+		base.AdaptiveTrigger = true
+	case Shenandoah:
+		base.Style = StyleConcFull
+		base.STWThreads = cores
+		base.ConcThreads = cores / 2
+		base.ParLoss = 0.035
+		base.BarrierBase = 0.120
+		base.BarrierConc = 0.060
+		base.MarkNsPerByte = 0.55
+		base.CopyNsPerByte = 0.75
+		base.PauseFloorNS = 400 * sim.Microsecond
+		base.TinyPauseNS = 60 * sim.Microsecond
+		base.ConcTriggerFrac = 0.65
+		base.Pacer = true
+		base.PacerFreeFrac = 0.20
+		base.PacerMaxStallNS = 1.5 * sim.Millisecond
+	case ZGC:
+		base.Style = StyleConcFull
+		base.STWThreads = cores
+		base.ConcThreads = cores / 2
+		base.ParLoss = 0.035
+		base.BarrierBase = 0.070
+		base.BarrierConc = 0.050
+		base.MarkNsPerByte = 0.60
+		base.CopyNsPerByte = 0.80
+		base.PauseFloorNS = 400 * sim.Microsecond
+		base.TinyPauseNS = 40 * sim.Microsecond
+		base.ConcTriggerFrac = 0.60
+		base.Expansion = 1.45
+		base.Pacer = true
+		base.PacerFreeFrac = 0.10
+		base.PacerMaxStallNS = 0.8 * sim.Millisecond
+	case GenZGC:
+		base.Generational = true
+		base.Style = StyleConcFull
+		base.STWThreads = cores
+		base.ConcThreads = cores / 2
+		base.ParLoss = 0.035
+		base.BarrierBase = 0.080
+		base.BarrierConc = 0.050
+		base.MarkNsPerByte = 0.60
+		base.CopyNsPerByte = 0.80
+		base.PauseFloorNS = 400 * sim.Microsecond
+		base.TinyPauseNS = 40 * sim.Microsecond
+		base.ConcTriggerFrac = 0.65
+		base.Expansion = 1.45
+		base.Pacer = true
+		base.PacerFreeFrac = 0.10
+		base.PacerMaxStallNS = 0.8 * sim.Millisecond
+	default:
+		panic(fmt.Sprintf("gc: no preset for %v", k))
+	}
+	if base.ConcThreads < 1 {
+		base.ConcThreads = 1
+	}
+	return base
+}

@@ -1,0 +1,71 @@
+package gc
+
+import "fmt"
+
+// ShenandoahMode selects one of Shenandoah's heuristics, mirroring the real
+// collector's -XX:ShenandoahGCHeuristics options. The paper evaluates only
+// the default (adaptive); the other modes are provided for the ablation
+// study of how trigger policy moves the time-space tradeoff.
+type ShenandoahMode int
+
+// Shenandoah heuristics.
+const (
+	// ShenAdaptive is the production default: trigger by occupancy with
+	// pacing (what Shenandoah.Params returns).
+	ShenAdaptive ShenandoahMode = iota
+	// ShenStatic triggers at a fixed, earlier occupancy and never paces:
+	// predictable, but wastes cycles in roomy heaps and degenerates more in
+	// tight ones.
+	ShenStatic
+	// ShenCompact collects continuously to minimise footprint, paying the
+	// highest CPU overhead for the smallest heap occupancy.
+	ShenCompact
+	// ShenAggressive starts a new cycle as soon as the previous finishes
+	// and paces hard; the stress-test configuration.
+	ShenAggressive
+)
+
+func (m ShenandoahMode) String() string {
+	switch m {
+	case ShenAdaptive:
+		return "adaptive"
+	case ShenStatic:
+		return "static"
+	case ShenCompact:
+		return "compact"
+	case ShenAggressive:
+		return "aggressive"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// ParseShenandoahMode resolves a heuristic by name.
+func ParseShenandoahMode(s string) (ShenandoahMode, error) {
+	for _, m := range []ShenandoahMode{ShenAdaptive, ShenStatic, ShenCompact, ShenAggressive} {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("gc: unknown Shenandoah heuristic %q", s)
+}
+
+// ShenandoahParams returns Shenandoah configured with the given heuristic.
+func ShenandoahParams(mode ShenandoahMode, cores int) Params {
+	p := Shenandoah.Params(cores)
+	switch mode {
+	case ShenAdaptive:
+		// the preset
+	case ShenStatic:
+		p.ConcTriggerFrac = 0.50
+		p.Pacer = false
+	case ShenCompact:
+		p.ConcTriggerFrac = 0.10
+		p.PacerFreeFrac = 0.35
+		p.PacerMaxStallNS *= 2
+	case ShenAggressive:
+		p.ConcTriggerFrac = 0.01
+		p.PacerFreeFrac = 0.50
+		p.PacerMaxStallNS *= 4
+	}
+	return p
+}

@@ -1,0 +1,137 @@
+package gclog
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"chopin/internal/gc"
+	"chopin/internal/trace"
+	"chopin/internal/workload"
+)
+
+func sampleLog() *trace.Log {
+	l := &trace.Log{}
+	l.AddEvent(trace.GCEvent{Kind: trace.GCYoung, Start: 100e6, End: 101e6,
+		PauseNS: 1e6, CPUNS: 8e6, Reclaimed: 19 * mb, UsedAfter: 12 * mb})
+	l.AddEvent(trace.GCEvent{Kind: trace.GCConcurrent, Start: 200e6, End: 410e6,
+		PauseNS: 0, CPUNS: 801e6, Reclaimed: 25 * mb, UsedAfter: 20 * mb})
+	l.AddEvent(trace.GCEvent{Kind: trace.GCFull, Start: 500e6, End: 512e6,
+		PauseNS: 12e6, CPUNS: 48e6, Reclaimed: 30 * mb, UsedAfter: 10 * mb})
+	l.AddPause(trace.Pause{Start: 100e6, End: 101e6})
+	l.AddPause(trace.Pause{Start: 500e6, End: 512e6})
+	l.AddStall(3.5e6)
+	return l
+}
+
+func TestFormatShape(t *testing.T) {
+	out := Format(sampleLog(), 128)
+	for _, want := range []string{
+		"[info][gc] GC(0) Pause Young (Normal) 31M->12M(128M) 1.000ms cpu=8.000ms",
+		"GC(1) Concurrent Cycle 45M->20M(128M)",
+		"GC(2) Pause Full (Allocation Failure) 40M->10M(128M) 12.000ms",
+		"Allocation stall total 3.500ms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("log missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig := sampleLog()
+	text := Format(orig, 128)
+	parsed, capMB, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capMB != 128 {
+		t.Fatalf("capacity = %v, want 128", capMB)
+	}
+	if len(parsed.Events) != len(orig.Events) {
+		t.Fatalf("events = %d, want %d", len(parsed.Events), len(orig.Events))
+	}
+	for i, e := range parsed.Events {
+		o := orig.Events[i]
+		if e.Kind != o.Kind {
+			t.Errorf("event %d kind = %v, want %v", i, e.Kind, o.Kind)
+		}
+		if math.Abs(e.PauseNS-o.PauseNS) > 1e3 {
+			t.Errorf("event %d pause = %v, want %v", i, e.PauseNS, o.PauseNS)
+		}
+		if math.Abs(e.CPUNS-o.CPUNS) > 1e3 {
+			t.Errorf("event %d cpu = %v, want %v", i, e.CPUNS, o.CPUNS)
+		}
+		if math.Abs(e.UsedAfter-o.UsedAfter) > mb {
+			t.Errorf("event %d used = %v, want %v", i, e.UsedAfter, o.UsedAfter)
+		}
+		if math.Abs(e.Reclaimed-o.Reclaimed) > mb {
+			t.Errorf("event %d reclaimed = %v, want %v", i, e.Reclaimed, o.Reclaimed)
+		}
+	}
+	if math.Abs(parsed.StallNS-orig.StallNS) > 1e3 {
+		t.Errorf("stall = %v, want %v", parsed.StallNS, orig.StallNS)
+	}
+	// Pauses reconstructed for pausing events only.
+	if len(parsed.Pauses) != 2 {
+		t.Errorf("pauses = %d, want 2", len(parsed.Pauses))
+	}
+}
+
+func TestParseSkipsForeignLines(t *testing.T) {
+	text := "[0.001s][info][init] bootstrapping\n" +
+		"[0.100s][info][gc] GC(0) Pause Young (Normal) 31M->12M(128M) 1.000ms cpu=8.000ms\n" +
+		"[0.200s][warning][os] something unrelated\n"
+	l, _, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Events) != 1 {
+		t.Fatalf("events = %d, want 1", len(l.Events))
+	}
+}
+
+func TestParseRejectsUnknownLabel(t *testing.T) {
+	text := "[0.100s][info][gc] GC(0) Pause Shiny (Experimental) 31M->12M(128M) 1.000ms cpu=8.000ms\n"
+	if _, _, err := Parse(text); err == nil {
+		t.Fatal("unknown label should error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(sampleLog())
+	for _, want := range []string{"3 collections", "1 young", "1 full", "1 concurrent",
+		"13.0ms total pause", "max 12.00ms"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestRealRunRoundTrips(t *testing.T) {
+	// End-to-end: simulate, format, parse; the totals the methodologies use
+	// must survive the text round trip.
+	res, err := workload.Run(workload.H2o, workload.RunConfig{
+		HeapMB: 2 * workload.H2o.MinHeapMB, Collector: gc.G1,
+		Iterations: 2, Events: 400, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(res.Log, 2*workload.H2o.MinHeapMB)
+	parsed, _, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Events) != len(res.Log.Events) {
+		t.Fatalf("events = %d, want %d", len(parsed.Events), len(res.Log.Events))
+	}
+	// Totals within formatting precision (3 decimals of ms per event).
+	tol := float64(len(parsed.Events)) * 1e3
+	if math.Abs(parsed.TotalGCCPUNS()-res.Log.TotalGCCPUNS()) > tol {
+		t.Fatalf("gc cpu drifted: %v vs %v", parsed.TotalGCCPUNS(), res.Log.TotalGCCPUNS())
+	}
+	if math.Abs(parsed.TotalPauseNS()-res.Log.TotalPauseNS()) > tol {
+		t.Fatalf("pause total drifted: %v vs %v", parsed.TotalPauseNS(), res.Log.TotalPauseNS())
+	}
+}

@@ -1,0 +1,357 @@
+// Package harness orchestrates the paper's experiments: multi-invocation
+// runs, per-benchmark minimum-heap identification, collector-by-heap-factor
+// sweeps for LBO (Figures 1 and 5 and the appendix), latency experiments
+// (Figures 3 and 6), and heap-occupancy timelines (appendix).
+//
+// It embodies the paper's methodological recommendations directly: heap
+// sizes are always expressed as multiples of a measured per-benchmark
+// minimum (H2), several invocations feed 95% confidence intervals (P1), and
+// overheads are reported via LBO on both wall and task clock (O1/O2).
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"chopin/internal/gc"
+	"chopin/internal/latency"
+	"chopin/internal/lbo"
+	"chopin/internal/nominal"
+	"chopin/internal/stats"
+	"chopin/internal/trace"
+	"chopin/internal/workload"
+)
+
+// Options configures an experiment sweep.
+type Options struct {
+	// Collectors to evaluate; nil means the paper's five production
+	// collectors in introduction order.
+	Collectors []gc.Kind
+	// HeapFactors are multiples of the measured minimum heap; nil means the
+	// paper's 1-6x range with extra resolution at small heaps, where the
+	// time-space tradeoff carries the information.
+	HeapFactors []float64
+	// Invocations per configuration (default 3; the paper uses 10).
+	Invocations int
+	// Iterations per invocation; the last is timed (default 3).
+	Iterations int
+	// Events per iteration; 0 scales the workload default down 4x to keep
+	// sweeps affordable.
+	Events int
+	// Seed perturbs all invocations deterministically.
+	Seed uint64
+	// Parallelism bounds concurrent invocations (default NumCPU).
+	Parallelism int
+}
+
+// DefaultHeapFactors mirrors the paper's sweep: dense at small heaps.
+var DefaultHeapFactors = []float64{1, 1.25, 1.5, 2, 2.5, 3, 4, 5, 6}
+
+func (o Options) withDefaults(d *workload.Descriptor) Options {
+	if o.Collectors == nil {
+		o.Collectors = gc.Kinds
+	}
+	if o.HeapFactors == nil {
+		o.HeapFactors = DefaultHeapFactors
+	}
+	if o.Invocations <= 0 {
+		o.Invocations = 3
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 3
+	}
+	if o.Events <= 0 {
+		o.Events = d.Events / 4
+		if o.Events < 200 {
+			o.Events = 200
+		}
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.NumCPU()
+	}
+	return o
+}
+
+// MinHeapMB measures the benchmark's minimum heap under the baseline G1
+// configuration (the paper's GMD definition), which anchors all heap-factor
+// sweeps. The bound is then validated against every invocation seed the
+// sweep will use, growing by 3% steps until all of them complete, so the 1x
+// row of a sweep is actually runnable rather than OOMing on seed jitter.
+func MinHeapMB(d *workload.Descriptor, opt Options) (float64, error) {
+	opt = opt.withDefaults(d)
+	base := workload.RunConfig{
+		Collector:  gc.G1,
+		Iterations: 1,
+		Events:     opt.Events,
+		Seed:       opt.Seed,
+	}
+	min, err := nominal.MinHeap(d, base, 1)
+	if err != nil {
+		return 0, err
+	}
+	for attempt := 0; attempt < 20; attempt++ {
+		ok := true
+		for i := 0; i < opt.Invocations; i++ {
+			cfg := base
+			cfg.HeapMB = min
+			cfg.Seed = opt.Seed + uint64(i)*1_000_003 + 17
+			cfg.Iterations = opt.Iterations
+			if _, err := workload.Run(d, cfg); err != nil {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return min, nil
+		}
+		min *= 1.03
+	}
+	return min, nil
+}
+
+// invocationSet is the aggregate of several invocations of one
+// configuration.
+type invocationSet struct {
+	completed bool
+	wall, cpu []float64 // timed-iteration samples
+	stwWall   []float64 // whole-run STW wall per invocation
+	gcCPU     []float64 // whole-run GC CPU per invocation
+	wholeWall []float64 // whole-run wall
+	wholeCPU  []float64 // whole-run task clock
+}
+
+// runSet executes opt.Invocations runs of one configuration in parallel.
+// A configuration counts as completed only if every invocation completes —
+// matching the paper's all-or-nothing plotting rule.
+func runSet(d *workload.Descriptor, cfg workload.RunConfig, opt Options) *invocationSet {
+	set := &invocationSet{completed: true}
+	results := make([]*workload.Result, opt.Invocations)
+	errs := make([]error, opt.Invocations)
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opt.Parallelism)
+	for i := 0; i < opt.Invocations; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c := cfg
+			c.Seed = opt.Seed + uint64(i)*1_000_003 + 17
+			results[i], errs[i] = workload.Run(d, c)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < opt.Invocations; i++ {
+		if errs[i] != nil {
+			set.completed = false
+			return set
+		}
+		r := results[i]
+		last := r.Last()
+		set.wall = append(set.wall, last.WallNS)
+		set.cpu = append(set.cpu, last.CPUNS)
+		var ww, wc float64
+		for _, it := range r.Iterations {
+			ww += it.WallNS
+			wc += it.CPUNS
+		}
+		set.wholeWall = append(set.wholeWall, ww)
+		set.wholeCPU = append(set.wholeCPU, wc)
+		set.stwWall = append(set.stwWall, r.Log.TotalPauseNS())
+		set.gcCPU = append(set.gcCPU, r.GCCPUNS)
+	}
+	return set
+}
+
+// LBOGrid sweeps collectors and heap factors for one benchmark and returns
+// its lower-bound-overhead grid. The minimum heap is measured first with the
+// baseline configuration; incomplete (OOM) cells are recorded as such.
+func LBOGrid(d *workload.Descriptor, opt Options) (*lbo.Grid, float64, error) {
+	opt = opt.withDefaults(d)
+	minMB, err := MinHeapMB(d, opt)
+	if err != nil {
+		return nil, 0, fmt.Errorf("harness: %s min heap: %w", d.Name, err)
+	}
+	grid := &lbo.Grid{Benchmark: d.Name}
+	for _, kind := range opt.Collectors {
+		for _, f := range opt.HeapFactors {
+			cfg := workload.RunConfig{
+				HeapMB:     minMB * f,
+				Collector:  kind,
+				Iterations: opt.Iterations,
+				Events:     opt.Events,
+			}
+			set := runSet(d, cfg, opt)
+			m := lbo.Measurement{
+				Collector:  kind.String(),
+				HeapFactor: f,
+				HeapMB:     minMB * f,
+				Completed:  set.completed,
+			}
+			if set.completed {
+				// LBO uses whole-run totals so concurrent cycles straddling
+				// iteration boundaries are attributed.
+				m.WallNS = stats.Mean(set.wholeWall)
+				m.CPUNS = stats.Mean(set.wholeCPU)
+				m.STWWallNS = stats.Mean(set.stwWall)
+				m.GCCPUNS = stats.Mean(set.gcCPU)
+				m.WallSamples = set.wholeWall
+				m.CPUSamples = set.wholeCPU
+			}
+			grid.Add(m)
+		}
+	}
+	return grid, minMB, nil
+}
+
+// SuiteLBO runs LBOGrid for every workload in ds (nil = whole suite) and
+// also returns the cross-suite geometric means of Figure 1.
+func SuiteLBO(ds []*workload.Descriptor, opt Options) ([]*lbo.Grid, []lbo.GeomeanPoint, error) {
+	if ds == nil {
+		ds = workload.All()
+	}
+	grids := make([]*lbo.Grid, 0, len(ds))
+	for _, d := range ds {
+		g, _, err := LBOGrid(d, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		grids = append(grids, g)
+	}
+	o := opt.withDefaults(ds[0])
+	names := make([]string, len(o.Collectors))
+	for i, k := range o.Collectors {
+		names[i] = k.String()
+	}
+	pts, err := lbo.Geomean(grids, names, o.HeapFactors)
+	if err != nil {
+		return nil, nil, err
+	}
+	return grids, pts, nil
+}
+
+// LatencyResult is one cell of a latency experiment: the three latency
+// views of one (collector, heap factor) configuration, plus the pause log
+// for MMU analysis.
+type LatencyResult struct {
+	Benchmark   string
+	Collector   string
+	HeapFactor  float64
+	HeapMB      float64
+	Completed   bool
+	Simple      *latency.Distribution
+	Metered100  *latency.Distribution // 100ms smoothing window
+	MeteredFull *latency.Distribution // full smoothing
+	// Events are the raw timed events behind the distributions, for
+	// downstream metrics (critical-jOPS, custom smoothing windows).
+	Events   []latency.Event
+	Pauses   []trace.Pause
+	RunStart int64
+	RunEnd   int64
+}
+
+// LatencyOpenLoop is Latency with the open-loop request discipline: real
+// scheduled arrivals at 1/headroom of the nominal rate, with queueing. The
+// Simple distribution then holds true arrival-to-completion latency; the
+// metered views remain computed for comparison against it (ablation A5).
+func LatencyOpenLoop(d *workload.Descriptor, factors []float64, headroom float64, opt Options) ([]LatencyResult, error) {
+	return latencyExperiment(d, factors, opt, true, headroom)
+}
+
+// Latency runs the latency experiment of Figures 3 and 6: one invocation
+// per (collector, heap factor) with per-event timing, reported as simple
+// latency and metered latency at 100ms and full smoothing.
+func Latency(d *workload.Descriptor, factors []float64, opt Options) ([]LatencyResult, error) {
+	return latencyExperiment(d, factors, opt, false, 0)
+}
+
+func latencyExperiment(d *workload.Descriptor, factors []float64, opt Options,
+	openLoop bool, headroom float64) ([]LatencyResult, error) {
+	opt = opt.withDefaults(d)
+	if factors == nil {
+		factors = []float64{2, 6}
+	}
+	minMB, err := MinHeapMB(d, opt)
+	if err != nil {
+		return nil, err
+	}
+	var out []LatencyResult
+	for _, kind := range opt.Collectors {
+		for _, f := range factors {
+			cfg := workload.RunConfig{
+				HeapMB:           minMB * f,
+				Collector:        kind,
+				Iterations:       opt.Iterations,
+				Events:           opt.Events,
+				Seed:             opt.Seed,
+				RecordLatency:    true,
+				OpenLoop:         openLoop,
+				OpenLoopHeadroom: headroom,
+			}
+			lr := LatencyResult{
+				Benchmark: d.Name, Collector: kind.String(),
+				HeapFactor: f, HeapMB: minMB * f,
+			}
+			res, err := workload.Run(d, cfg)
+			if err == nil {
+				events := make([]latency.Event, len(res.Events))
+				for i, e := range res.Events {
+					events[i] = latency.Event{Start: e.Start, End: e.End}
+				}
+				lr.Completed = true
+				lr.Events = events
+				lr.Simple = latency.NewDistribution(latency.Simple(events))
+				lr.Metered100 = latency.NewDistribution(latency.Metered(events, 100*1e6))
+				lr.MeteredFull = latency.NewDistribution(latency.Metered(events, latency.FullSmoothing))
+				lr.Pauses = res.Log.Pauses
+				last := res.Last()
+				lr.RunStart = last.StartNS
+				lr.RunEnd = last.EndNS
+			}
+			out = append(out, lr)
+		}
+	}
+	return out, nil
+}
+
+// HeapSample is one post-GC occupancy observation, relative to the start of
+// the timed iteration.
+type HeapSample struct {
+	TimeSec float64
+	UsedMB  float64
+}
+
+// HeapTimeline reproduces the appendix heap-size figures: post-GC heap
+// occupancy over the last iteration, G1 at 2x the minimum heap.
+func HeapTimeline(d *workload.Descriptor, opt Options) ([]HeapSample, error) {
+	opt = opt.withDefaults(d)
+	minMB, err := MinHeapMB(d, opt)
+	if err != nil {
+		return nil, err
+	}
+	res, err := workload.Run(d, workload.RunConfig{
+		HeapMB:     2 * minMB,
+		Collector:  gc.G1,
+		Iterations: opt.Iterations,
+		Events:     opt.Events,
+		Seed:       opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	last := res.Last()
+	var out []HeapSample
+	for _, e := range res.Log.Events {
+		if e.End < last.StartNS || e.End > last.EndNS {
+			continue
+		}
+		out = append(out, HeapSample{
+			TimeSec: float64(e.End-last.StartNS) / 1e9,
+			UsedMB:  e.UsedAfter / workload.MB,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,160 @@
+// Package latency implements the paper's user-experienced latency
+// methodology (Section 4.4): simple latency, metered latency with
+// sliding-average smoothing of request start times, latency distributions
+// reported by percentile, and the classic minimum mutator utilization (MMU)
+// metric of Cheng and Blelloch for comparison.
+//
+// Simple latency times every event directly. Metered latency models the
+// queuing behaviour of real request systems: each event is assigned an
+// assumed start time as if requests had arrived at uniform intervals, so a
+// pause delays not only in-flight events but everything queued behind them.
+// The assumed start is the sliding average of actual start times over a
+// configurable window — a 1 ms window is effectively simple latency, full
+// smoothing is a perfectly uniform arrival schedule, and the paper suggests
+// 100 ms as a reasonable middle ground.
+package latency
+
+import (
+	"math"
+	"sort"
+
+	"chopin/internal/stats"
+)
+
+// Event is one timed request/frame, in virtual nanoseconds.
+type Event struct {
+	Start, End int64
+}
+
+// FullSmoothing selects the uniform-arrival limit of metered latency.
+const FullSmoothing = -1
+
+// ReportPercentiles are the distribution points the paper's figures plot,
+// from the median out to the 99.9999th percentile.
+var ReportPercentiles = []float64{0, 50, 90, 99, 99.9, 99.99, 99.999, 99.9999}
+
+// Simple returns the simple latency of each event: end minus actual start.
+func Simple(events []Event) []float64 {
+	out := make([]float64, len(events))
+	for i, e := range events {
+		out[i] = float64(e.End - e.Start)
+	}
+	return out
+}
+
+// Metered returns the metered latency of each event under the given
+// smoothing window (ns). windowNS == FullSmoothing (or any non-positive
+// value) yields uniform synthetic arrivals over the span of actual starts.
+// Each latency is end minus the earlier of the actual and synthetic start,
+// so metered latency can never be below simple latency.
+func Metered(events []Event, windowNS float64) []float64 {
+	n := len(events)
+	if n == 0 {
+		return nil
+	}
+	sorted := make([]Event, n)
+	copy(sorted, events)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+
+	synthetic := make([]float64, n)
+	if windowNS <= 0 {
+		first := float64(sorted[0].Start)
+		last := float64(sorted[n-1].Start)
+		if n == 1 {
+			synthetic[0] = first
+		} else {
+			step := (last - first) / float64(n-1)
+			for i := range synthetic {
+				synthetic[i] = first + step*float64(i)
+			}
+		}
+	} else {
+		// Centered sliding average over the actual starts within
+		// [start-w/2, start+w/2], via a two-pointer sweep.
+		half := windowNS / 2
+		lo, hi := 0, 0 // window is sorted[lo:hi]
+		var sum float64
+		for i := 0; i < n; i++ {
+			center := float64(sorted[i].Start)
+			for hi < n && float64(sorted[hi].Start) <= center+half {
+				sum += float64(sorted[hi].Start)
+				hi++
+			}
+			for lo < hi && float64(sorted[lo].Start) < center-half {
+				sum -= float64(sorted[lo].Start)
+				lo++
+			}
+			synthetic[i] = sum / float64(hi-lo)
+		}
+	}
+
+	out := make([]float64, n)
+	for i, e := range sorted {
+		start := math.Min(float64(e.Start), synthetic[i])
+		out[i] = float64(e.End) - start
+	}
+	return out
+}
+
+// Distribution is a sorted latency sample supporting percentile queries and
+// CDF export.
+type Distribution struct {
+	sorted []float64
+}
+
+// NewDistribution copies and sorts vals.
+func NewDistribution(vals []float64) *Distribution {
+	s := make([]float64, len(vals))
+	copy(s, vals)
+	sort.Float64s(s)
+	return &Distribution{sorted: s}
+}
+
+// N returns the sample size.
+func (d *Distribution) N() int { return len(d.sorted) }
+
+// Percentile returns the p-th percentile (0..100).
+func (d *Distribution) Percentile(p float64) float64 {
+	return stats.PercentileSorted(d.sorted, p)
+}
+
+// Report returns the values at ReportPercentiles, in order.
+func (d *Distribution) Report() []float64 {
+	out := make([]float64, len(ReportPercentiles))
+	for i, p := range ReportPercentiles {
+		out[i] = d.Percentile(p)
+	}
+	return out
+}
+
+// Max returns the largest observed value.
+func (d *Distribution) Max() float64 {
+	if len(d.sorted) == 0 {
+		return 0
+	}
+	return d.sorted[len(d.sorted)-1]
+}
+
+// CDFPoint is one point of a cumulative distribution curve.
+type CDFPoint struct {
+	Percentile float64
+	Value      float64
+}
+
+// CDF returns the distribution sampled at the paper's log-scaled percentile
+// axis (0, 90, 99, 99.9, ... up to what the sample size resolves), plus
+// intermediate points for smooth plotting.
+func (d *Distribution) CDF() []CDFPoint {
+	if len(d.sorted) == 0 {
+		return nil
+	}
+	var pts []CDFPoint
+	for _, base := range []float64{0, 25, 50, 75, 90, 95, 99, 99.5, 99.9, 99.95, 99.99, 99.995, 99.999, 99.9995, 99.9999} {
+		// Skip percentiles the sample cannot resolve (need >= 1/(1-p) points).
+		if base > 0 && float64(len(d.sorted)) < 1/(1-base/100) {
+			break
+		}
+		pts = append(pts, CDFPoint{base, d.Percentile(base)})
+	}
+	return pts
+}

@@ -1,0 +1,296 @@
+package latency
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"chopin/internal/trace"
+)
+
+const ms = 1e6
+
+func evt(start, end int64) Event { return Event{Start: start, End: end} }
+
+func TestSimpleLatency(t *testing.T) {
+	events := []Event{evt(0, 10), evt(5, 25), evt(30, 31)}
+	got := Simple(events)
+	want := []float64{10, 20, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("simple[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMeteredFullSmoothingUniformArrivals(t *testing.T) {
+	// Three events starting at 0, 10, 200; uniform synthetic arrivals are
+	// 0, 100, 200. Event 1 "arrived" at 10 before its synthetic slot at 100,
+	// so the earlier time (actual) is used; an event delayed past its slot
+	// is charged from the slot.
+	events := []Event{evt(0, 5), evt(10, 15), evt(200, 205)}
+	got := Metered(events, FullSmoothing)
+	want := []float64{5, 15 - 10, 5} // starts sorted: 0,10,200; synthetic 0,100,200
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("metered[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMeteredCapturesCascadingDelay(t *testing.T) {
+	// A steady stream of 1ms-spaced events, then a 50ms pause-induced gap:
+	// the first event after the gap has a synthetic (queued) start well
+	// before its actual start, so its metered latency far exceeds simple.
+	var events []Event
+	for i := int64(0); i < 50; i++ {
+		events = append(events, evt(i*ms, i*ms+ms/2))
+	}
+	gapStart := int64(50)*ms + 50*ms // resumes 50ms late
+	for i := int64(0); i < 50; i++ {
+		s := gapStart + i*ms
+		events = append(events, evt(s, s+ms/2))
+	}
+	simple := NewDistribution(Simple(events))
+	metered := NewDistribution(Metered(events, FullSmoothing))
+	if metered.Max() <= simple.Max() {
+		t.Fatalf("metered max %v should exceed simple max %v after a gap",
+			metered.Max(), simple.Max())
+	}
+	if metered.Max() < 25*ms {
+		t.Fatalf("metered max %v should reflect most of the 50ms gap", metered.Max())
+	}
+}
+
+func TestMeteredNeverBelowSimple(t *testing.T) {
+	// Paper: "metered latency ... can never be lower than the simple
+	// latency". Property-based check over random event sets.
+	f := func(raw []uint32) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var events []Event
+		var cursor int64
+		for _, r := range raw {
+			gap := int64(r % 1000000)
+			dur := int64(r%77777) + 1
+			cursor += gap
+			events = append(events, evt(cursor, cursor+dur))
+		}
+		for _, w := range []float64{FullSmoothing, 1 * ms, 100 * ms} {
+			met := Metered(events, w)
+			// Metered() sorts by start; recompute simple on the same order.
+			sortedSimple := Metered(events, 1e-9) // tiny window = actual starts
+			for i := range met {
+				if met[i] < sortedSimple[i]-1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeteredTinyWindowEqualsSimple(t *testing.T) {
+	events := []Event{evt(0, 10), evt(100, 130), evt(250, 260)}
+	met := Metered(events, 1) // 1ns window: each event only sees itself
+	want := []float64{10, 30, 10}
+	for i := range want {
+		if math.Abs(met[i]-want[i]) > 1e-9 {
+			t.Fatalf("metered[%d] = %v, want %v", i, met[i], want[i])
+		}
+	}
+}
+
+func TestMeteredWindowMonotonicityAtMax(t *testing.T) {
+	// Wider smoothing exposes more queueing: the max metered latency should
+	// not decrease as the window grows (on a gap-heavy schedule).
+	var events []Event
+	for i := int64(0); i < 20; i++ {
+		events = append(events, evt(i*ms, i*ms+ms/4))
+	}
+	for i := int64(0); i < 20; i++ {
+		s := 20*ms + 100*ms + i*ms
+		events = append(events, evt(s, s+ms/4))
+	}
+	prev := 0.0
+	for _, w := range []float64{1 * ms, 10 * ms, 100 * ms} {
+		max := NewDistribution(Metered(events, w)).Max()
+		if max < prev-1e-6 {
+			t.Fatalf("max metered latency decreased with window: %v -> %v", prev, max)
+		}
+		prev = max
+	}
+}
+
+func TestMeteredEmptyAndSingle(t *testing.T) {
+	if got := Metered(nil, 100); got != nil {
+		t.Fatalf("Metered(nil) = %v", got)
+	}
+	got := Metered([]Event{evt(5, 17)}, FullSmoothing)
+	if len(got) != 1 || got[0] != 12 {
+		t.Fatalf("single event metered = %v, want [12]", got)
+	}
+}
+
+func TestDistributionPercentiles(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i + 1)
+	}
+	d := NewDistribution(vals)
+	if got := d.Percentile(0); got != 1 {
+		t.Fatalf("p0 = %v, want 1", got)
+	}
+	if got := d.Percentile(100); got != 100 {
+		t.Fatalf("p100 = %v, want 100", got)
+	}
+	if got := d.Percentile(50); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("p50 = %v, want 50.5", got)
+	}
+	if d.N() != 100 {
+		t.Fatalf("N = %d", d.N())
+	}
+}
+
+func TestDistributionReportMonotone(t *testing.T) {
+	vals := []float64{5, 1, 9, 2, 8, 3, 7, 4, 6, 10, 200, 42}
+	rep := NewDistribution(vals).Report()
+	if len(rep) != len(ReportPercentiles) {
+		t.Fatalf("report has %d entries, want %d", len(rep), len(ReportPercentiles))
+	}
+	for i := 1; i < len(rep); i++ {
+		if rep[i] < rep[i-1] {
+			t.Fatalf("report not monotone at %d: %v", i, rep)
+		}
+	}
+}
+
+func TestCDFResolvableOnly(t *testing.T) {
+	d := NewDistribution(make([]float64, 100)) // 100 zeros
+	pts := d.CDF()
+	for _, p := range pts {
+		if p.Percentile >= 99.9 {
+			t.Fatalf("100 samples cannot resolve p%v", p.Percentile)
+		}
+	}
+	if len(pts) == 0 {
+		t.Fatal("no CDF points")
+	}
+}
+
+func TestMMUNoPausesIsOne(t *testing.T) {
+	if got := MMU(nil, 0, 1000*ms, 10*ms); got != 1 {
+		t.Fatalf("MMU with no pauses = %v, want 1", got)
+	}
+}
+
+func TestMMUSinglePause(t *testing.T) {
+	pauses := []trace.Pause{{Start: 100 * ms, End: 110 * ms}}
+	// A 20ms window fully containing the 10ms pause: utilization 0.5.
+	if got := MMU(pauses, 0, 1000*ms, 20*ms); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("MMU(20ms) = %v, want 0.5", got)
+	}
+	// A 10ms window can be fully consumed by the pause.
+	if got := MMU(pauses, 0, 1000*ms, 10*ms); got != 0 {
+		t.Fatalf("MMU(10ms) = %v, want 0", got)
+	}
+	// A huge window dilutes the pause.
+	if got := MMU(pauses, 0, 1000*ms, 1000*ms); math.Abs(got-0.99) > 1e-9 {
+		t.Fatalf("MMU(1s) = %v, want 0.99", got)
+	}
+}
+
+func TestMMUClusteredShortPausesAsBadAsOneLong(t *testing.T) {
+	// The Cheng & Blelloch point: five 2ms pauses packed into 12ms are as
+	// bad for a 12ms window as one 10ms pause.
+	var clustered []trace.Pause
+	for i := int64(0); i < 5; i++ {
+		s := 100*ms + i*2500000 // 2ms pause every 2.5ms
+		clustered = append(clustered, trace.Pause{Start: s, End: s + 2*ms})
+	}
+	single := []trace.Pause{{Start: 100 * ms, End: 110 * ms}}
+	w := 12.0 * ms
+	mc := MMU(clustered, 0, 1000*ms, w)
+	msingle := MMU(single, 0, 1000*ms, w)
+	if mc > msingle+0.05 {
+		t.Fatalf("clustered pauses MMU %v should be ~as bad as single %v", mc, msingle)
+	}
+}
+
+func TestMMUCurveMonotoneInWindow(t *testing.T) {
+	pauses := []trace.Pause{
+		{Start: 10 * ms, End: 12 * ms},
+		{Start: 50 * ms, End: 51 * ms},
+		{Start: 300 * ms, End: 320 * ms},
+	}
+	windows := []float64{1 * ms, 5 * ms, 25 * ms, 125 * ms, 625 * ms}
+	curve := MMUCurve(pauses, 0, 1000*ms, windows)
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1]-1e-9 {
+			t.Fatalf("MMU should be non-decreasing in window size: %v", curve)
+		}
+	}
+	if curve[0] != 0 {
+		t.Fatalf("a 1ms window inside a 2ms pause must give MMU 0, got %v", curve[0])
+	}
+}
+
+func TestMMUBoundedZeroOne(t *testing.T) {
+	f := func(raw []uint32, wRaw uint32) bool {
+		var pauses []trace.Pause
+		var cursor int64
+		for _, r := range raw {
+			cursor += int64(r%50000) + 1
+			end := cursor + int64(r%20000) + 1
+			pauses = append(pauses, trace.Pause{Start: cursor, End: end})
+			cursor = end
+		}
+		w := float64(wRaw%100000000) + 1
+		u := MMU(pauses, 0, cursor+1000000, w)
+		return u >= 0 && u <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCriticalJOPSRewardsFasterSystems(t *testing.T) {
+	// Two synthetic runs with identical event counts: one fast, one with the
+	// same schedule dilated 4x (slower rate, higher latency).
+	mkRun := func(scale int64) []Event {
+		var evs []Event
+		for i := int64(0); i < 2000; i++ {
+			start := i * ms / 2 * scale
+			evs = append(evs, Event{Start: start, End: start + scale*ms/4})
+		}
+		return evs
+	}
+	fast := CriticalJOPS(mkRun(1), nil)
+	slow := CriticalJOPS(mkRun(4), nil)
+	if fast <= slow {
+		t.Fatalf("critical-jOPS should reward the faster run: %v vs %v", fast, slow)
+	}
+}
+
+func TestCriticalJOPSSLAFailureCollapsesScore(t *testing.T) {
+	var evs []Event
+	for i := int64(0); i < 1000; i++ {
+		start := i * ms
+		evs = append(evs, Event{Start: start, End: start + 500*ms}) // 500ms latencies
+	}
+	tight := CriticalJOPS(evs, []SLA{{99, 1 * ms}})
+	loose := CriticalJOPS(evs, []SLA{{99, 1000 * ms}})
+	if tight >= loose {
+		t.Fatalf("failing every SLA should collapse the score: %v vs %v", tight, loose)
+	}
+}
+
+func TestCriticalJOPSEmpty(t *testing.T) {
+	if got := CriticalJOPS(nil, nil); got != 0 {
+		t.Fatalf("empty run = %v, want 0", got)
+	}
+}

@@ -1,0 +1,76 @@
+package latency
+
+import "chopin/internal/trace"
+
+// MMU computes the minimum mutator utilization for a sliding window of
+// windowNS over the run [runStart, runEnd): the worst-case fraction of any
+// window left to the application after stop-the-world pauses. Cheng and
+// Blelloch proposed it because a burst of short pauses can be as harmful as
+// one long pause — the insight the paper revisits (Figure 2) when arguing
+// that GC pause time is a poor proxy for user-experienced latency.
+//
+// The minimum over window positions is attained with a window edge aligned
+// to a pause boundary, so only those candidate positions are evaluated.
+func MMU(pauses []trace.Pause, runStart, runEnd int64, windowNS float64) float64 {
+	span := float64(runEnd - runStart)
+	if span <= 0 || windowNS <= 0 {
+		return 1
+	}
+	if windowNS >= span {
+		windowNS = span
+	}
+	if len(pauses) == 0 {
+		return 1
+	}
+
+	worst := 0.0 // worst pause overlap seen in any window
+	consider := func(a float64) {
+		if a < float64(runStart) {
+			a = float64(runStart)
+		}
+		if a+windowNS > float64(runEnd) {
+			a = float64(runEnd) - windowNS
+		}
+		b := a + windowNS
+		var overlap float64
+		for _, p := range pauses {
+			s, e := float64(p.Start), float64(p.End)
+			if e <= a {
+				continue
+			}
+			if s >= b {
+				break
+			}
+			lo, hi := s, e
+			if lo < a {
+				lo = a
+			}
+			if hi > b {
+				hi = b
+			}
+			overlap += hi - lo
+		}
+		if overlap > worst {
+			worst = overlap
+		}
+	}
+	for _, p := range pauses {
+		consider(float64(p.Start))
+		consider(float64(p.End) - windowNS)
+	}
+	u := 1 - worst/windowNS
+	if u < 0 {
+		u = 0
+	}
+	return u
+}
+
+// MMUCurve evaluates MMU at each of the given window sizes, producing the
+// classic MMU-vs-window plot.
+func MMUCurve(pauses []trace.Pause, runStart, runEnd int64, windows []float64) []float64 {
+	out := make([]float64, len(windows))
+	for i, w := range windows {
+		out[i] = MMU(pauses, runStart, runEnd, w)
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package lbo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// hand-built grid: two collectors, two heap sizes, known distilled costs.
+func testGrid() *Grid {
+	g := &Grid{Benchmark: "test"}
+	// "simple" collector: cheap attributable cost, low mutator tax.
+	g.Add(Measurement{Collector: "simple", HeapFactor: 1, Completed: true,
+		WallNS: 150, CPUNS: 160, STWWallNS: 45, GCCPUNS: 50})
+	g.Add(Measurement{Collector: "simple", HeapFactor: 2, Completed: true,
+		WallNS: 115, CPUNS: 120, STWWallNS: 15, GCCPUNS: 20}) // distilled: 100 wall, 100 cpu
+	// "fancy" collector: concurrent, little STW but lots of CPU.
+	g.Add(Measurement{Collector: "fancy", HeapFactor: 1, Completed: false})
+	g.Add(Measurement{Collector: "fancy", HeapFactor: 2, Completed: true,
+		WallNS: 112, CPUNS: 180, STWWallNS: 2, GCCPUNS: 60})
+	return g
+}
+
+func TestDistilledBaselines(t *testing.T) {
+	g := testGrid()
+	bw, err := g.BaselineWall()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw != 100 {
+		t.Fatalf("wall baseline = %v, want 100", bw)
+	}
+	bc, err := g.BaselineCPU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc != 100 {
+		t.Fatalf("cpu baseline = %v, want 100", bc)
+	}
+}
+
+func TestOverheadsNormalized(t *testing.T) {
+	g := testGrid()
+	ovs, err := g.Overheads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]Overhead{}
+	for _, o := range ovs {
+		byKey[o.Collector+string(rune('0'+int(o.HeapFactor)))] = o
+	}
+	if got := byKey["simple2"].Wall; math.Abs(got-1.15) > 1e-9 {
+		t.Fatalf("simple@2 wall LBO = %v, want 1.15", got)
+	}
+	if got := byKey["fancy2"].CPU; math.Abs(got-1.80) > 1e-9 {
+		t.Fatalf("fancy@2 cpu LBO = %v, want 1.80", got)
+	}
+	if byKey["fancy1"].Completed {
+		t.Fatal("incomplete cell should stay incomplete")
+	}
+}
+
+func TestOverheadAtLeastOneAtBaselinePoint(t *testing.T) {
+	g := testGrid()
+	ovs, _ := g.Overheads()
+	for _, o := range ovs {
+		if o.Completed && (o.Wall < 1 || o.CPU < 1) {
+			t.Fatalf("LBO below 1 for completed cell: %+v", o)
+		}
+	}
+}
+
+func TestIncompleteCellsExcludedFromBaseline(t *testing.T) {
+	g := &Grid{Benchmark: "x"}
+	g.Add(Measurement{Collector: "a", HeapFactor: 1, Completed: false,
+		WallNS: 1, CPUNS: 1}) // would be an absurd baseline if included
+	g.Add(Measurement{Collector: "a", HeapFactor: 2, Completed: true,
+		WallNS: 100, CPUNS: 110, STWWallNS: 10, GCCPUNS: 10})
+	bw, err := g.BaselineWall()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw != 90 {
+		t.Fatalf("baseline = %v, want 90", bw)
+	}
+}
+
+func TestNoCompletedCellsIsError(t *testing.T) {
+	g := &Grid{Benchmark: "x"}
+	g.Add(Measurement{Collector: "a", Completed: false})
+	if _, err := g.BaselineWall(); err == nil {
+		t.Fatal("expected error for grid with no completed cells")
+	}
+	if _, err := g.Overheads(); err == nil {
+		t.Fatal("expected error from Overheads too")
+	}
+}
+
+func TestNonPositiveBaselineIsError(t *testing.T) {
+	g := &Grid{Benchmark: "x"}
+	g.Add(Measurement{Collector: "a", HeapFactor: 1, Completed: true,
+		WallNS: 10, CPUNS: 10, STWWallNS: 10, GCCPUNS: 10})
+	if _, err := g.BaselineWall(); err == nil {
+		t.Fatal("expected error for zero distilled baseline")
+	}
+}
+
+func TestGeomeanAcrossBenchmarks(t *testing.T) {
+	mk := func(wall2 float64) *Grid {
+		g := &Grid{}
+		g.Add(Measurement{Collector: "a", HeapFactor: 2, Completed: true,
+			WallNS: wall2, CPUNS: wall2, STWWallNS: wall2 - 100, GCCPUNS: wall2 - 100})
+		return g
+	}
+	// Baselines are 100 in both grids; overheads 1.2 and 1.8.
+	pts, err := Geomean([]*Grid{mk(120), mk(180)}, []string{"a"}, []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("points = %d, want 1", len(pts))
+	}
+	want := math.Sqrt(1.2 * 1.8)
+	if math.Abs(pts[0].Wall-want) > 1e-9 {
+		t.Fatalf("geomean = %v, want %v", pts[0].Wall, want)
+	}
+	if !pts[0].Complete || pts[0].Benchmarks != 2 {
+		t.Fatalf("point should be complete over 2 benchmarks: %+v", pts[0])
+	}
+}
+
+func TestGeomeanMarksIncompleteCollectors(t *testing.T) {
+	ok := &Grid{}
+	ok.Add(Measurement{Collector: "z", HeapFactor: 1, Completed: true,
+		WallNS: 120, CPUNS: 120, STWWallNS: 20, GCCPUNS: 20})
+	bad := &Grid{}
+	bad.Add(Measurement{Collector: "z", HeapFactor: 1, Completed: false})
+	bad.Add(Measurement{Collector: "z", HeapFactor: 2, Completed: true,
+		WallNS: 120, CPUNS: 120, STWWallNS: 20, GCCPUNS: 20})
+	pts, err := Geomean([]*Grid{ok, bad}, []string{"z"}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.HeapFactor == 1 && p.Complete {
+			t.Fatal("factor-1 point should be incomplete (one benchmark OOMed)")
+		}
+	}
+}
+
+// Property: scaling all costs of a grid uniformly leaves every overhead
+// unchanged (LBO is scale-free).
+func TestQuickOverheadScaleInvariant(t *testing.T) {
+	f := func(scaleRaw uint16, wallRaw, stwRaw []uint16) bool {
+		if len(wallRaw) == 0 {
+			return true
+		}
+		scale := 1 + float64(scaleRaw%1000)/10
+		build := func(s float64) *Grid {
+			g := &Grid{}
+			for i, w := range wallRaw {
+				wall := (float64(w%10000) + 200) * s
+				stw := wall * 0.3
+				if i < len(stwRaw) {
+					stw = wall * (float64(stwRaw[i]%90) / 100)
+				}
+				g.Add(Measurement{Collector: "c", HeapFactor: float64(i),
+					Completed: true, WallNS: wall, CPUNS: wall * 1.5,
+					STWWallNS: stw, GCCPUNS: stw})
+			}
+			return g
+		}
+		a, errA := build(1).Overheads()
+		b, errB := build(scale).Overheads()
+		if errA != nil || errB != nil {
+			return errA != nil && errB != nil
+		}
+		for i := range a {
+			if math.Abs(a[i].Wall-b[i].Wall) > 1e-9 || math.Abs(a[i].CPU-b[i].CPU) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

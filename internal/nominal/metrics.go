@@ -1,0 +1,89 @@
+// Package nominal implements the paper's nominal workload statistics
+// (Section 5.1, Table 1): 47 per-benchmark metrics across five groups —
+// Allocation, Bytecode, Garbage collection, Performance and
+// U(micro)-architecture — each benchmark ranked and scored 1..10 against the
+// rest of the suite.
+//
+// Every metric our substrate can measure is measured by running experiments:
+// min-heap searches, heap sweeps, compiler-configuration runs, machine
+// swaps, size-distribution sampling for the allocation statistics, and
+// instrumented execution of a synthesized program image for the bytecode-mix
+// statistics (internal/bytecode). Only PPE and the cross-architecture
+// affinities remain declared traits.
+package nominal
+
+// Metric describes one nominal statistic.
+type Metric struct {
+	// Name is the three-letter acronym; its first letter is the group.
+	Name string
+	// Description matches Table 1 of the paper.
+	Description string
+	// Measured reports whether the value is produced by running the
+	// simulator (true) or taken from the workload's declared traits (false).
+	Measured bool
+}
+
+// Group returns the metric's group letter (A, B, G, P or U).
+func (m Metric) Group() byte { return m.Name[0] }
+
+// Metrics lists all 47 nominal statistics in Table 1 order.
+var Metrics = []Metric{
+	{"AOA", "nominal average object size (bytes)", true},
+	{"AOL", "nominal 90-percentile object size (bytes)", true},
+	{"AOM", "nominal median object size (bytes)", true},
+	{"AOS", "nominal 10-percentile object size (bytes)", true},
+	{"ARA", "nominal allocation rate (bytes / usec)", true},
+	{"BAL", "nominal aaload per usec", true},
+	{"BAS", "nominal aastore per usec", true},
+	{"BEF", "nominal execution focus / dominance of hot code", true},
+	{"BGF", "nominal getfield per usec", true},
+	{"BPF", "nominal putfield per usec", true},
+	{"BUB", "nominal thousands of unique bytecodes executed", true},
+	{"BUF", "nominal thousands of unique function calls executed", true},
+	{"GCA", "nominal average post-GC heap size as percent of min heap, when run at 2X min heap with G1", true},
+	{"GCC", "nominal GC count at 2X minimum heap size (G1)", true},
+	{"GCM", "nominal median post-GC heap size as percent of min heap, when run at 2X min heap with G1", true},
+	{"GCP", "nominal percentage of time spent in GC pauses at 2X minimum heap size (G1)", true},
+	{"GLK", "nominal percent 10th iteration memory leakage (10 iterations / 1 iterations)", true},
+	{"GMD", "nominal minimum heap size (MB) for default size configuration (with compressed pointers)", true},
+	{"GML", "nominal minimum heap size (MB) for large size configuration (with compressed pointers)", true},
+	{"GMS", "nominal minimum heap size (MB) for small size configuration (with compressed pointers)", true},
+	{"GMU", "nominal minimum heap size (MB) for default size without compressed pointers", true},
+	{"GMV", "nominal minimum heap size (MB) for vlarge size configuration (with compressed pointers)", true},
+	{"GSS", "nominal heap size sensitivity (slowdown with tight heap, as a percentage)", true},
+	{"GTO", "nominal memory turnover (total alloc bytes / min heap bytes)", true},
+	{"PCC", "nominal percentage slowdown due to forced c2 compilation compared to tiered baseline (compiler cost)", true},
+	{"PCS", "nominal percentage slowdown due to worst compiler configuration compared to best (sensitivity to compiler)", true},
+	{"PET", "nominal execution time (sec)", true},
+	{"PFS", "nominal percentage speedup due to enabling frequency scaling (CPU frequency sensitivity)", true},
+	{"PIN", "nominal percentage slowdown due to using the interpreter (sensitivity to interpreter)", true},
+	{"PKP", "nominal percentage of time spent in kernel mode (as percentage of user plus kernel time)", true},
+	{"PLS", "nominal percentage slowdown due to 1/16 reduction of LLC capacity (LLC sensitivity)", true},
+	{"PMS", "nominal percentage slowdown due to slower DRAM (memory speed sensitivity)", true},
+	{"PPE", "nominal parallel efficiency (speedup as percentage of ideal speedup for 32 threads)", false},
+	{"PSD", "nominal standard deviation among invocations at peak performance (as percentage of performance)", true},
+	{"PWU", "nominal iterations to warm up to within 1.5% of best", true},
+	{"UAA", "nominal percentage change (slowdown) when running on ARM Neoverse N1 v AMD Zen 4 on a single core", true},
+	{"UAI", "nominal percentage change (slowdown) when running on Intel Golden Cove v AMD Zen 4 on a single core", true},
+	{"UBM", "nominal backend bound (memory)", true},
+	{"UBP", "nominal 1000 x bad speculation: mispredicts", true},
+	{"UBR", "nominal 1000000 x bad speculation: pipeline restarts", true},
+	{"UBS", "nominal 1000 x bad speculation", true},
+	{"UDC", "nominal data cache misses per K instructions", true},
+	{"UDT", "nominal DTLB misses per M instructions", true},
+	{"UIP", "nominal 100 x instructions per cycle (IPC)", true},
+	{"ULL", "nominal LLC misses per M instructions", true},
+	{"USB", "nominal 100 x back end bound", true},
+	{"USC", "nominal 1000 x SMT contention", true},
+	{"USF", "nominal 100 x front end bound", true},
+}
+
+// MetricByName returns the metric definition, or false if unknown.
+func MetricByName(name string) (Metric, bool) {
+	for _, m := range Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}

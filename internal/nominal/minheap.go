@@ -1,0 +1,74 @@
+package nominal
+
+import (
+	"errors"
+	"fmt"
+
+	"chopin/internal/workload"
+)
+
+// MinHeap finds the minimum heap size, in MB, at which the workload runs to
+// completion under cfg (Recommendation H2's prerequisite: heap sizes must be
+// expressed as multiples of a measured per-benchmark minimum). It grows an
+// upper bound geometrically until the run completes, then bisects to within
+// tolMB or 1% of the bound, whichever is larger.
+func MinHeap(d *workload.Descriptor, cfg workload.RunConfig, tolMB float64) (float64, error) {
+	if tolMB <= 0 {
+		tolMB = 1
+	}
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 1
+	}
+	completes := func(heapMB float64) (bool, error) {
+		c := cfg
+		c.HeapMB = heapMB
+		_, err := workload.Run(d, c)
+		if err == nil {
+			return true, nil
+		}
+		var oom *workload.ErrOutOfMemory
+		if errors.As(err, &oom) {
+			return false, nil
+		}
+		return false, err
+	}
+
+	// Exponential search for a feasible upper bound.
+	hi := d.LiveMB + 4
+	if hi < 4 {
+		hi = 4
+	}
+	var ok bool
+	var err error
+	for i := 0; i < 24; i++ {
+		ok, err = completes(hi)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			break
+		}
+		hi *= 2
+	}
+	if !ok {
+		return 0, fmt.Errorf("nominal: %s does not complete even at %.0fMB", d.Name, hi)
+	}
+	lo := hi / 2
+	if hi == d.LiveMB+4 {
+		lo = 1
+	}
+
+	for hi-lo > tolMB && hi-lo > hi*0.01 {
+		mid := (lo + hi) / 2
+		ok, err := completes(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

@@ -1,0 +1,153 @@
+package nominal
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"chopin/internal/pca"
+	"chopin/internal/stats"
+)
+
+// SuiteTable is the suite-wide nominal statistics table: values, ranks and
+// scores for every (benchmark, metric) pair, the data behind the paper's
+// appendix tables and PCA.
+type SuiteTable struct {
+	Benchmarks []string
+	// Values[i][j] is benchmark i's value for Metrics[j]; NaN when absent.
+	Values [][]float64
+	// Ranks[i][j] is the benchmark's rank for the metric (1 = largest
+	// value); 0 when absent.
+	Ranks [][]int
+	// Scores[i][j] maps the rank onto 1..10 (10 = rank 1); 0 when absent.
+	Scores [][]int
+}
+
+// BuildSuite assembles the table from per-benchmark characterizations.
+func BuildSuite(chars []*Characterization) *SuiteTable {
+	t := &SuiteTable{}
+	for _, c := range chars {
+		t.Benchmarks = append(t.Benchmarks, c.Workload)
+		row := make([]float64, len(Metrics))
+		for j, m := range Metrics {
+			row[j] = c.Value(m.Name)
+		}
+		t.Values = append(t.Values, row)
+	}
+	n := len(t.Benchmarks)
+	t.Ranks = make([][]int, n)
+	t.Scores = make([][]int, n)
+	for i := range t.Ranks {
+		t.Ranks[i] = make([]int, len(Metrics))
+		t.Scores[i] = make([]int, len(Metrics))
+	}
+	for j := range Metrics {
+		// Rank only benchmarks that have the metric.
+		var present []int
+		var vals []float64
+		for i := 0; i < n; i++ {
+			if !math.IsNaN(t.Values[i][j]) {
+				present = append(present, i)
+				vals = append(vals, t.Values[i][j])
+			}
+		}
+		if len(present) == 0 {
+			continue
+		}
+		ranks := stats.Rank(vals)
+		for k, i := range present {
+			t.Ranks[i][j] = ranks[k]
+			t.Scores[i][j] = stats.ScoreFromRank(ranks[k], len(present))
+		}
+	}
+	return t
+}
+
+// MetricIndex returns the column index of the named metric, or -1.
+func (t *SuiteTable) MetricIndex(name string) int {
+	for j, m := range Metrics {
+		if m.Name == name {
+			return j
+		}
+	}
+	return -1
+}
+
+// CompleteMetricMatrix returns the submatrix of metrics for which every
+// benchmark has a value — the paper uses the 33 such metrics for its PCA —
+// along with their names.
+func (t *SuiteTable) CompleteMetricMatrix() ([]string, [][]float64) {
+	var cols []int
+	var names []string
+	for j, m := range Metrics {
+		complete := true
+		for i := range t.Benchmarks {
+			if math.IsNaN(t.Values[i][j]) {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			cols = append(cols, j)
+			names = append(names, m.Name)
+		}
+	}
+	data := make([][]float64, len(t.Benchmarks))
+	for i := range data {
+		data[i] = make([]float64, len(cols))
+		for k, j := range cols {
+			data[i][k] = t.Values[i][j]
+		}
+	}
+	return names, data
+}
+
+// PCA runs the paper's diversity analysis over the complete-metric matrix:
+// raw values, standard scaling, principal components.
+func (t *SuiteTable) PCA() (names []string, res *pca.Result, err error) {
+	names, data := t.CompleteMetricMatrix()
+	if len(names) == 0 {
+		return nil, nil, fmt.Errorf("nominal: no complete metrics for PCA")
+	}
+	res, err = pca.Fit(data)
+	return names, res, err
+}
+
+// Table2Metrics is the paper's Table 2 selection: the twelve most
+// determinant nominal statistics as revealed by its PCA.
+var Table2Metrics = []string{
+	"GLK", "GMU", "PET", "PFS", "PKP", "PWU",
+	"UAA", "UAI", "UBP", "UBR", "UBS", "USF",
+}
+
+// MostDeterminant ranks metrics by their summed absolute loadings over the
+// top k principal components, weighted by explained variance — the analysis
+// behind Table 2's selection.
+func (t *SuiteTable) MostDeterminant(n, topComponents int) ([]string, error) {
+	names, res, err := t.PCA()
+	if err != nil {
+		return nil, err
+	}
+	if topComponents > len(res.Components) {
+		topComponents = len(res.Components)
+	}
+	weight := make([]float64, len(names))
+	for c := 0; c < topComponents; c++ {
+		for j := range names {
+			weight[j] += math.Abs(res.Components[c][j]) * res.ExplainedVariance[c]
+		}
+	}
+	idx := make([]int, len(names))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return weight[idx[a]] > weight[idx[b]] })
+	if n > len(idx) {
+		n = len(idx)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = names[idx[i]]
+	}
+	return out, nil
+}

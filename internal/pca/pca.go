@@ -1,0 +1,232 @@
+// Package pca implements principal components analysis as the paper uses it
+// (Section 5.2): standard-scale the benchmark-by-metric matrix (zero mean,
+// unit variance per metric), eigendecompose the covariance matrix with the
+// cyclic Jacobi method, and project the benchmarks onto the leading
+// components to quantify the diversity of the suite.
+package pca
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Result holds a fitted PCA.
+type Result struct {
+	// Components holds the principal axes, one row per component, sorted by
+	// decreasing explained variance; each row has one loading per metric.
+	Components [][]float64
+	// Eigenvalues are the variances along each component, same order.
+	Eigenvalues []float64
+	// ExplainedVariance is each eigenvalue as a fraction of the total.
+	ExplainedVariance []float64
+	// Projected holds the standardized data projected onto the components:
+	// one row per observation, one column per component.
+	Projected [][]float64
+	// Means and Scales are the per-metric standardization parameters.
+	Means  []float64
+	Scales []float64
+}
+
+// Fit runs PCA over data (rows = observations/benchmarks, columns =
+// metrics). Metrics with zero variance are scaled by 1 (they carry no
+// information and get zero loadings naturally).
+func Fit(data [][]float64) (*Result, error) {
+	n := len(data)
+	if n < 2 {
+		return nil, fmt.Errorf("pca: need at least 2 observations, got %d", n)
+	}
+	m := len(data[0])
+	if m < 1 {
+		return nil, fmt.Errorf("pca: need at least 1 metric")
+	}
+	for i, row := range data {
+		if len(row) != m {
+			return nil, fmt.Errorf("pca: row %d has %d metrics, want %d", i, len(row), m)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("pca: row %d metric %d is %v", i, j, v)
+			}
+		}
+	}
+
+	// Standard scaling: zero mean, unit variance per metric (population
+	// variance, matching sklearn's StandardScaler).
+	means := make([]float64, m)
+	scales := make([]float64, m)
+	for j := 0; j < m; j++ {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += data[i][j]
+		}
+		means[j] = sum / float64(n)
+		var ss float64
+		for i := 0; i < n; i++ {
+			d := data[i][j] - means[j]
+			ss += d * d
+		}
+		scales[j] = math.Sqrt(ss / float64(n))
+		if scales[j] == 0 {
+			scales[j] = 1
+		}
+	}
+	x := make([][]float64, n)
+	for i := range x {
+		x[i] = make([]float64, m)
+		for j := 0; j < m; j++ {
+			x[i][j] = (data[i][j] - means[j]) / scales[j]
+		}
+	}
+
+	// Covariance matrix (n-1 denominator).
+	cov := make([][]float64, m)
+	for j := range cov {
+		cov[j] = make([]float64, m)
+	}
+	for j := 0; j < m; j++ {
+		for k := j; k < m; k++ {
+			var s float64
+			for i := 0; i < n; i++ {
+				s += x[i][j] * x[i][k]
+			}
+			c := s / float64(n-1)
+			cov[j][k] = c
+			cov[k][j] = c
+		}
+	}
+
+	eigVals, eigVecs := jacobi(cov)
+
+	// Sort by decreasing eigenvalue.
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return eigVals[order[a]] > eigVals[order[b]] })
+
+	res := &Result{Means: means, Scales: scales}
+	var total float64
+	for _, v := range eigVals {
+		if v > 0 {
+			total += v
+		}
+	}
+	for _, idx := range order {
+		v := eigVals[idx]
+		if v < 0 {
+			v = 0
+		}
+		res.Eigenvalues = append(res.Eigenvalues, v)
+		if total > 0 {
+			res.ExplainedVariance = append(res.ExplainedVariance, v/total)
+		} else {
+			res.ExplainedVariance = append(res.ExplainedVariance, 0)
+		}
+		comp := make([]float64, m)
+		for j := 0; j < m; j++ {
+			comp[j] = eigVecs[j][idx]
+		}
+		res.Components = append(res.Components, comp)
+	}
+
+	// Fix component sign deterministically: largest-magnitude loading
+	// positive, so runs are comparable.
+	for _, comp := range res.Components {
+		maxAbs, sign := 0.0, 1.0
+		for _, v := range comp {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+				if v < 0 {
+					sign = -1
+				} else {
+					sign = 1
+				}
+			}
+		}
+		if sign < 0 {
+			for j := range comp {
+				comp[j] = -comp[j]
+			}
+		}
+	}
+
+	res.Projected = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		res.Projected[i] = make([]float64, m)
+		for c, comp := range res.Components {
+			var s float64
+			for j := 0; j < m; j++ {
+				s += x[i][j] * comp[j]
+			}
+			res.Projected[i][c] = s
+		}
+	}
+	return res, nil
+}
+
+// jacobi diagonalizes the symmetric matrix a with the cyclic Jacobi method,
+// returning eigenvalues and the matrix of column eigenvectors. a is not
+// modified.
+func jacobi(a [][]float64) ([]float64, [][]float64) {
+	m := len(a)
+	// Working copy.
+	w := make([][]float64, m)
+	for i := range w {
+		w[i] = make([]float64, m)
+		copy(w[i], a[i])
+	}
+	// Eigenvector accumulator, starts as identity.
+	v := make([][]float64, m)
+	for i := range v {
+		v[i] = make([]float64, m)
+		v[i][i] = 1
+	}
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < m; p++ {
+			for q := p + 1; q < m; q++ {
+				off += w[p][q] * w[p][q]
+			}
+		}
+		if off < 1e-18 {
+			break
+		}
+		for p := 0; p < m; p++ {
+			for q := p + 1; q < m; q++ {
+				if math.Abs(w[p][q]) < 1e-15 {
+					continue
+				}
+				// Compute the rotation that zeroes w[p][q].
+				theta := (w[q][q] - w[p][p]) / (2 * w[p][q])
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+
+				for k := 0; k < m; k++ {
+					wkp, wkq := w[k][p], w[k][q]
+					w[k][p] = c*wkp - s*wkq
+					w[k][q] = s*wkp + c*wkq
+				}
+				for k := 0; k < m; k++ {
+					wpk, wqk := w[p][k], w[q][k]
+					w[p][k] = c*wpk - s*wqk
+					w[q][k] = s*wpk + c*wqk
+				}
+				for k := 0; k < m; k++ {
+					vkp, vkq := v[k][p], v[k][q]
+					v[k][p] = c*vkp - s*vkq
+					v[k][q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+
+	vals := make([]float64, m)
+	for i := 0; i < m; i++ {
+		vals[i] = w[i][i]
+	}
+	return vals, v
+}

@@ -1,0 +1,215 @@
+package pca
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"chopin/internal/sim"
+)
+
+func TestTwoDimensionalLine(t *testing.T) {
+	// Points on a perfect line y = 2x: all variance on PC1.
+	data := [][]float64{{1, 2}, {2, 4}, {3, 6}, {4, 8}, {5, 10}}
+	r, err := Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.ExplainedVariance[0]; math.Abs(got-1) > 1e-9 {
+		t.Fatalf("PC1 explains %v, want 1", got)
+	}
+	// After standardization the line is x=y, so PC1 is (1,1)/sqrt(2).
+	c := r.Components[0]
+	if math.Abs(math.Abs(c[0])-1/math.Sqrt2) > 1e-9 ||
+		math.Abs(math.Abs(c[1])-1/math.Sqrt2) > 1e-9 {
+		t.Fatalf("PC1 = %v, want (±0.707, ±0.707)", c)
+	}
+	if c[0]*c[1] < 0 {
+		t.Fatalf("PC1 loadings should share sign for correlated metrics: %v", c)
+	}
+}
+
+func TestIndependentMetricsSplitVariance(t *testing.T) {
+	// Two independent metrics with equal (unit, after scaling) variance.
+	data := [][]float64{{1, 1}, {1, -1}, {-1, 1}, {-1, -1}, {2, 0}, {-2, 0}, {0, 2}, {0, -2}}
+	r, err := Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.ExplainedVariance[0]-0.5) > 1e-9 {
+		t.Fatalf("symmetric data should split variance evenly: %v", r.ExplainedVariance)
+	}
+}
+
+func TestComponentsOrthonormal(t *testing.T) {
+	rng := sim.NewRNG(42)
+	data := make([][]float64, 22)
+	for i := range data {
+		data[i] = make([]float64, 7)
+		for j := range data[i] {
+			data[i][j] = rng.NormFloat64()*float64(j+1) + float64(j)
+		}
+	}
+	r, err := Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < len(r.Components); a++ {
+		for b := a; b < len(r.Components); b++ {
+			var dot float64
+			for j := range r.Components[a] {
+				dot += r.Components[a][j] * r.Components[b][j]
+			}
+			want := 0.0
+			if a == b {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-8 {
+				t.Fatalf("components %d,%d dot = %v, want %v", a, b, dot, want)
+			}
+		}
+	}
+}
+
+func TestEigenvaluesSortedAndExplainSumToOne(t *testing.T) {
+	rng := sim.NewRNG(7)
+	data := make([][]float64, 30)
+	for i := range data {
+		data[i] = make([]float64, 5)
+		for j := range data[i] {
+			data[i][j] = rng.Float64() * float64(10*(j+1))
+		}
+	}
+	r, err := Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i, ev := range r.Eigenvalues {
+		if i > 0 && ev > r.Eigenvalues[i-1]+1e-12 {
+			t.Fatalf("eigenvalues not sorted: %v", r.Eigenvalues)
+		}
+		sum += r.ExplainedVariance[i]
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("explained variance sums to %v, want 1", sum)
+	}
+}
+
+func TestProjectionPreservesTotalVariance(t *testing.T) {
+	rng := sim.NewRNG(13)
+	n, m := 22, 6
+	data := make([][]float64, n)
+	for i := range data {
+		data[i] = make([]float64, m)
+		for j := range data[i] {
+			data[i][j] = rng.NormFloat64() * float64(j+1)
+		}
+	}
+	r, err := Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total variance of projections equals the eigenvalue sum.
+	var projVar float64
+	for c := 0; c < m; c++ {
+		var mean float64
+		for i := 0; i < n; i++ {
+			mean += r.Projected[i][c]
+		}
+		mean /= float64(n)
+		var ss float64
+		for i := 0; i < n; i++ {
+			d := r.Projected[i][c] - mean
+			ss += d * d
+		}
+		projVar += ss / float64(n-1)
+	}
+	var eigSum float64
+	for _, v := range r.Eigenvalues {
+		eigSum += v
+	}
+	if math.Abs(projVar-eigSum) > 1e-6*eigSum {
+		t.Fatalf("projected variance %v != eigenvalue sum %v", projVar, eigSum)
+	}
+}
+
+func TestConstantMetricHandled(t *testing.T) {
+	data := [][]float64{{1, 5}, {2, 5}, {3, 5}, {4, 5}}
+	r, err := Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The constant metric contributes nothing; PC1 explains everything.
+	if math.Abs(r.ExplainedVariance[0]-1) > 1e-9 {
+		t.Fatalf("explained = %v, want PC1=1", r.ExplainedVariance)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Fit([][]float64{{1, 2}}); err == nil {
+		t.Fatal("expected error for single observation")
+	}
+	if _, err := Fit([][]float64{{1, 2}, {1}}); err == nil {
+		t.Fatal("expected error for ragged rows")
+	}
+	if _, err := Fit([][]float64{{1, math.NaN()}, {2, 3}}); err == nil {
+		t.Fatal("expected error for NaN input")
+	}
+	if _, err := Fit([][]float64{{}, {}}); err == nil {
+		t.Fatal("expected error for zero metrics")
+	}
+}
+
+func TestDeterministicSigns(t *testing.T) {
+	data := [][]float64{{1, 2, 1}, {2, 4, 0}, {3, 5, 2}, {4, 9, 1}, {5, 9, 3}}
+	a, err := Fit(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Fit(data)
+	for c := range a.Components {
+		for j := range a.Components[c] {
+			if a.Components[c][j] != b.Components[c][j] {
+				t.Fatal("PCA not deterministic")
+			}
+		}
+	}
+}
+
+// Property: eigenvalues are non-negative (covariance matrices are PSD) and
+// projections are finite for arbitrary well-formed data.
+func TestQuickEigenvaluesNonNegative(t *testing.T) {
+	f := func(seed uint32, nRaw, mRaw uint8) bool {
+		n := int(nRaw%20) + 3
+		m := int(mRaw%6) + 2
+		rng := sim.NewRNG(uint64(seed))
+		data := make([][]float64, n)
+		for i := range data {
+			data[i] = make([]float64, m)
+			for j := range data[i] {
+				data[i][j] = rng.NormFloat64() * 10
+			}
+		}
+		r, err := Fit(data)
+		if err != nil {
+			return false
+		}
+		for _, v := range r.Eigenvalues {
+			if v < -1e-9 || math.IsNaN(v) {
+				return false
+			}
+		}
+		for _, row := range r.Projected {
+			for _, x := range row {
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+// Package persist saves and reloads experiment results as JSON, so
+// expensive sweeps can be archived and figures re-rendered offline — the
+// role running-ng's results directory plays for the paper's artifact.
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"chopin/internal/lbo"
+	"chopin/internal/nominal"
+)
+
+// Archive is the top-level saved document.
+type Archive struct {
+	// Version guards the schema; bump on incompatible change.
+	Version int `json:"version"`
+	// Kind describes the payload: "lbo-grid", "geomean", "characterization".
+	Kind string `json:"kind"`
+
+	Grid             *lbo.Grid                 `json:"grid,omitempty"`
+	Geomean          []lbo.GeomeanPoint        `json:"geomean,omitempty"`
+	Characterization *nominal.Characterization `json:"characterization,omitempty"`
+}
+
+const currentVersion = 1
+
+// SaveGrid writes a benchmark's LBO grid.
+func SaveGrid(path string, g *lbo.Grid) error {
+	return write(path, Archive{Version: currentVersion, Kind: "lbo-grid", Grid: g})
+}
+
+// SaveGeomean writes cross-suite geomean points.
+func SaveGeomean(path string, pts []lbo.GeomeanPoint) error {
+	return write(path, Archive{Version: currentVersion, Kind: "geomean", Geomean: pts})
+}
+
+// SaveCharacterization writes one workload's nominal statistics.
+func SaveCharacterization(path string, c *nominal.Characterization) error {
+	return write(path, Archive{Version: currentVersion, Kind: "characterization", Characterization: c})
+}
+
+func write(path string, a Archive) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads any archive and validates its envelope.
+func Load(path string) (*Archive, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	var a Archive
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("persist: %s: %w", path, err)
+	}
+	if a.Version != currentVersion {
+		return nil, fmt.Errorf("persist: %s: version %d, want %d", path, a.Version, currentVersion)
+	}
+	switch a.Kind {
+	case "lbo-grid":
+		if a.Grid == nil {
+			return nil, fmt.Errorf("persist: %s: lbo-grid archive without grid", path)
+		}
+	case "geomean":
+		if a.Geomean == nil {
+			return nil, fmt.Errorf("persist: %s: geomean archive without points", path)
+		}
+	case "characterization":
+		if a.Characterization == nil {
+			return nil, fmt.Errorf("persist: %s: characterization archive without payload", path)
+		}
+	default:
+		return nil, fmt.Errorf("persist: %s: unknown kind %q", path, a.Kind)
+	}
+	return &a, nil
+}
+
+// LoadGrid reads an LBO grid archive.
+func LoadGrid(path string) (*lbo.Grid, error) {
+	a, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if a.Kind != "lbo-grid" {
+		return nil, fmt.Errorf("persist: %s holds %q, want lbo-grid", path, a.Kind)
+	}
+	return a.Grid, nil
+}
+
+// LoadGeomean reads a geomean archive.
+func LoadGeomean(path string) ([]lbo.GeomeanPoint, error) {
+	a, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if a.Kind != "geomean" {
+		return nil, fmt.Errorf("persist: %s holds %q, want geomean", path, a.Kind)
+	}
+	return a.Geomean, nil
+}
+
+// LoadCharacterization reads a characterization archive.
+func LoadCharacterization(path string) (*nominal.Characterization, error) {
+	a, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if a.Kind != "characterization" {
+		return nil, fmt.Errorf("persist: %s holds %q, want characterization", path, a.Kind)
+	}
+	return a.Characterization, nil
+}

@@ -1,0 +1,130 @@
+package persist
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"chopin/internal/lbo"
+	"chopin/internal/nominal"
+)
+
+func tempPath(t *testing.T, name string) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), name)
+}
+
+func sampleGrid() *lbo.Grid {
+	g := &lbo.Grid{Benchmark: "fop"}
+	g.Add(lbo.Measurement{
+		Collector: "G1", HeapFactor: 2, HeapMB: 26, Completed: true,
+		WallNS: 100, CPUNS: 150, STWWallNS: 10, GCCPUNS: 20,
+		WallSamples: []float64{99, 101}, CPUSamples: []float64{149, 151},
+	})
+	g.Add(lbo.Measurement{Collector: "ZGC", HeapFactor: 1, Completed: false})
+	return g
+}
+
+func TestGridRoundTrip(t *testing.T) {
+	path := tempPath(t, "grid.json")
+	if err := SaveGrid(path, sampleGrid()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadGrid(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmark != "fop" || len(got.Cells) != 2 {
+		t.Fatalf("grid = %+v", got)
+	}
+	if got.Cells[0].WallNS != 100 || len(got.Cells[0].WallSamples) != 2 {
+		t.Fatalf("cell lost data: %+v", got.Cells[0])
+	}
+	// The reloaded grid must still compute overheads.
+	ovs, err := got.Overheads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ovs) != 2 || !ovs[0].Completed || ovs[1].Completed {
+		t.Fatalf("overheads = %+v", ovs)
+	}
+}
+
+func TestGeomeanRoundTrip(t *testing.T) {
+	path := tempPath(t, "geo.json")
+	pts := []lbo.GeomeanPoint{
+		{Collector: "Serial", HeapFactor: 2, Wall: 1.5, CPU: 1.2, Benchmarks: 22, Complete: true},
+	}
+	if err := SaveGeomean(path, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadGeomean(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != pts[0] {
+		t.Fatalf("points = %+v", got)
+	}
+}
+
+func TestCharacterizationRoundTrip(t *testing.T) {
+	path := tempPath(t, "char.json")
+	c := &nominal.Characterization{
+		Workload:  "fop",
+		MinHeapMB: 12.5,
+		Values:    map[string]float64{"ARA": 3340, "GMD": 12.5},
+	}
+	if err := SaveCharacterization(path, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCharacterization(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Workload != "fop" || got.Value("ARA") != 3340 {
+		t.Fatalf("characterization = %+v", got)
+	}
+	if !math.IsNaN(got.Value("XYZ")) {
+		t.Fatal("absent metric should be NaN after reload")
+	}
+}
+
+func TestKindMismatch(t *testing.T) {
+	path := tempPath(t, "grid.json")
+	if err := SaveGrid(path, sampleGrid()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadGeomean(path); err == nil {
+		t.Fatal("loading a grid as geomean should fail")
+	}
+	if _, err := LoadCharacterization(path); err == nil {
+		t.Fatal("loading a grid as characterization should fail")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(tempPath(t, "missing.json")); err == nil {
+		t.Fatal("missing file should error")
+	}
+	bad := tempPath(t, "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if _, err := Load(bad); err == nil {
+		t.Fatal("malformed JSON should error")
+	}
+	wrongVersion := tempPath(t, "v9.json")
+	os.WriteFile(wrongVersion, []byte(`{"version":9,"kind":"geomean","geomean":[]}`), 0o644)
+	if _, err := Load(wrongVersion); err == nil {
+		t.Fatal("future version should error")
+	}
+	unknownKind := tempPath(t, "kind.json")
+	os.WriteFile(unknownKind, []byte(`{"version":1,"kind":"mystery"}`), 0o644)
+	if _, err := Load(unknownKind); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+	empty := tempPath(t, "empty.json")
+	os.WriteFile(empty, []byte(`{"version":1,"kind":"lbo-grid"}`), 0o644)
+	if _, err := Load(empty); err == nil {
+		t.Fatal("missing payload should error")
+	}
+}

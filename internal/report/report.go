@@ -1,0 +1,316 @@
+// Package report renders experiment results as aligned text tables, ASCII
+// plots and CSV files — the offline equivalents of the paper's figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells beyond the header width are dropped, missing
+// cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values: strings pass through, float64s
+// are rendered compactly, everything else via %v.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row = append(row, v)
+		case float64:
+			row = append(row, FormatFloat(v))
+		default:
+			row = append(row, fmt.Sprintf("%v", v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// FormatFloat renders a float compactly: NaN as "-", integers without
+// decimals, small values with sensible precision.
+func FormatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// CSV writes the table as comma-separated values (cells containing commas
+// or quotes are quoted).
+func (t *Table) CSV(w io.Writer) {
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			parts[i] = c
+		}
+		fmt.Fprintln(w, strings.Join(parts, ","))
+	}
+	writeRow(t.header)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+}
+
+// Series is one labelled curve of a plot.
+type Series struct {
+	Label  string
+	Marker byte
+	X, Y   []float64
+}
+
+// LinePlot renders multiple series on an ASCII grid with axes and a legend.
+// Points outside [ymin, ymax] are clipped to the border (the paper clips its
+// LBO plots at 2.0 the same way).
+type LinePlot struct {
+	Title      string
+	XLabel     string
+	YLabel     string
+	Width      int
+	Height     int
+	YMin, YMax float64 // 0,0 = auto
+	Series     []Series
+}
+
+// Render draws the plot.
+func (p *LinePlot) Render(w io.Writer) {
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 20
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := p.YMin, p.YMax
+	autoY := ymin == 0 && ymax == 0
+	if autoY {
+		ymin, ymax = math.Inf(1), math.Inf(-1)
+	}
+	for _, s := range p.Series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			if autoY {
+				ymin = math.Min(ymin, s.Y[i])
+				ymax = math.Max(ymax, s.Y[i])
+			}
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		fmt.Fprintln(w, p.Title+" (no data)")
+		return
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax <= ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, marker byte) {
+		col := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		yc := math.Min(math.Max(y, ymin), ymax)
+		row := int(math.Round((ymax - yc) / (ymax - ymin) * float64(height-1)))
+		if col >= 0 && col < width && row >= 0 && row < height {
+			grid[row][col] = marker
+		}
+	}
+	for _, s := range p.Series {
+		// Interpolate between points so curves read as lines.
+		for i := 0; i+1 < len(s.X); i++ {
+			const steps = 12
+			for k := 0; k <= steps; k++ {
+				f := float64(k) / steps
+				plot(s.X[i]+(s.X[i+1]-s.X[i])*f, s.Y[i]+(s.Y[i+1]-s.Y[i])*f, s.Marker)
+			}
+		}
+		if len(s.X) == 1 {
+			plot(s.X[0], s.Y[0], s.Marker)
+		}
+	}
+
+	if p.Title != "" {
+		fmt.Fprintln(w, p.Title)
+	}
+	for r, rowBytes := range grid {
+		yTick := ymax - (ymax-ymin)*float64(r)/float64(height-1)
+		fmt.Fprintf(w, "%8.3f |%s\n", yTick, string(rowBytes))
+	}
+	fmt.Fprintf(w, "%8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(w, "%8s  %-*s%s\n", "", width-8, FormatFloat(xmin), FormatFloat(xmax))
+	if p.XLabel != "" {
+		fmt.Fprintf(w, "%8s  x: %s", "", p.XLabel)
+		if p.YLabel != "" {
+			fmt.Fprintf(w, "   y: %s", p.YLabel)
+		}
+		fmt.Fprintln(w)
+	}
+	var legend []string
+	for _, s := range p.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.Marker, s.Label))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(w, "%8s  legend: %s\n", "", strings.Join(legend, "  "))
+	}
+}
+
+// ScatterPlot renders labelled points (the PCA figures): each point is
+// plotted with a letter key, with a legend mapping keys to names.
+type ScatterPlot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int
+	Height int
+	Names  []string
+	X, Y   []float64
+}
+
+// Render draws the scatter plot.
+func (p *ScatterPlot) Render(w io.Writer) {
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 22
+	}
+	if len(p.X) == 0 {
+		fmt.Fprintln(w, p.Title+" (no data)")
+		return
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for i := range p.X {
+		xmin, xmax = math.Min(xmin, p.X[i]), math.Max(xmax, p.X[i])
+		ymin, ymax = math.Min(ymin, p.Y[i]), math.Max(ymax, p.Y[i])
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	keys := make([]byte, len(p.Names))
+	for i := range p.Names {
+		if i < 26 {
+			keys[i] = byte('a' + i)
+		} else {
+			keys[i] = byte('A' + i - 26)
+		}
+		col := int(math.Round((p.X[i] - xmin) / (xmax - xmin) * float64(width-1)))
+		row := int(math.Round((ymax - p.Y[i]) / (ymax - ymin) * float64(height-1)))
+		grid[row][col] = keys[i]
+	}
+	if p.Title != "" {
+		fmt.Fprintln(w, p.Title)
+	}
+	for r := range grid {
+		yTick := ymax - (ymax-ymin)*float64(r)/float64(height-1)
+		fmt.Fprintf(w, "%8.2f |%s\n", yTick, string(grid[r]))
+	}
+	fmt.Fprintf(w, "%8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(w, "%8s  %-*s%s\n", "", width-8, FormatFloat(xmin), FormatFloat(xmax))
+	fmt.Fprintf(w, "%8s  x: %s   y: %s\n", "", p.XLabel, p.YLabel)
+	var legend []string
+	for i, n := range p.Names {
+		legend = append(legend, fmt.Sprintf("%c=%s", keys[i], n))
+	}
+	sort.Strings(legend)
+	fmt.Fprintf(w, "%8s  %s\n", "", strings.Join(legend, " "))
+}
+
+// CollectorMarkers maps the paper's collector names to stable plot markers.
+var CollectorMarkers = map[string]byte{
+	"Serial":     'S',
+	"Parallel":   'P',
+	"G1":         'G',
+	"Shenandoah": 'H',
+	"ZGC":        'Z',
+	"GenZGC":     'g',
+}
+
+// MarkerFor returns the marker for a collector (or '*').
+func MarkerFor(name string) byte {
+	if m, ok := CollectorMarkers[name]; ok {
+		return m
+	}
+	return '*'
+}

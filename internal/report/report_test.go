@@ -1,0 +1,130 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("short", "1")
+	tb.AddRow("a-much-longer-name", "2.5")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Fatalf("separator missing: %q", lines[1])
+	}
+}
+
+func TestAddRowfFormatting(t *testing.T) {
+	tb := NewTable("a", "b", "c", "d")
+	tb.AddRowf("x", 3.14159, 42.0, 7)
+	out := tb.String()
+	for _, want := range []string{"3.14", "42", "7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		3.14159: "3.14",
+		0.123:   "0.123",
+		1234.5:  "1234", // Go rounds ties to even
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow(`has,comma`, `has"quote`)
+	var b strings.Builder
+	tb.CSV(&b)
+	out := b.String()
+	if !strings.Contains(out, `"has,comma"`) {
+		t.Fatalf("comma cell not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"has""quote"`) {
+		t.Fatalf("quote cell not escaped: %s", out)
+	}
+}
+
+func TestLinePlotRendersSeries(t *testing.T) {
+	p := &LinePlot{
+		Title:  "test plot",
+		XLabel: "heap",
+		YLabel: "lbo",
+		Series: []Series{
+			{Label: "Serial", Marker: 'S', X: []float64{1, 2, 3}, Y: []float64{2, 1.5, 1.2}},
+			{Label: "ZGC", Marker: 'Z', X: []float64{2, 3}, Y: []float64{1.9, 1.6}},
+		},
+	}
+	var b strings.Builder
+	p.Render(&b)
+	out := b.String()
+	for _, want := range []string{"test plot", "S", "Z", "legend:", "S=Serial", "Z=ZGC"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLinePlotClipsToYRange(t *testing.T) {
+	p := &LinePlot{
+		YMin: 1, YMax: 2, Height: 10, Width: 30,
+		Series: []Series{{Label: "x", Marker: 'x',
+			X: []float64{0, 1}, Y: []float64{0.5, 17}}},
+	}
+	var b strings.Builder
+	p.Render(&b)
+	if !strings.Contains(b.String(), "x") {
+		t.Fatal("clipped series vanished entirely")
+	}
+}
+
+func TestLinePlotEmpty(t *testing.T) {
+	p := &LinePlot{Title: "empty"}
+	var b strings.Builder
+	p.Render(&b)
+	if !strings.Contains(b.String(), "no data") {
+		t.Fatalf("empty plot should say so: %s", b.String())
+	}
+}
+
+func TestScatterPlot(t *testing.T) {
+	p := &ScatterPlot{
+		Title: "pca", XLabel: "PC1", YLabel: "PC2",
+		Names: []string{"avrora", "h2", "lusearch"},
+		X:     []float64{-1, 2, 0.5},
+		Y:     []float64{0.5, -1, 2},
+	}
+	var b strings.Builder
+	p.Render(&b)
+	out := b.String()
+	for _, want := range []string{"a=avrora", "b=h2", "c=lusearch", "PC1", "PC2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scatter missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMarkers(t *testing.T) {
+	if MarkerFor("Serial") != 'S' || MarkerFor("ZGC") != 'Z' {
+		t.Fatal("collector markers wrong")
+	}
+	if MarkerFor("unknown") != '*' {
+		t.Fatal("fallback marker wrong")
+	}
+}

@@ -1,0 +1,302 @@
+// Package sim implements the discrete-event simulation substrate on which
+// the whole system runs.
+//
+// The model is an exact continuous processor-sharing simulation: a virtual
+// machine with a fixed number of hardware threads executes a set of logical
+// threads. Whenever n threads are runnable, the machine delivers an aggregate
+// capacity C(n) (by default min(n, HW)), shared equally, so each runnable
+// thread progresses at rate C(n)/n CPU-nanoseconds per virtual nanosecond.
+// The engine advances time in piecewise-constant segments to the next quantum
+// completion or timer expiry; within a segment all rates are constant, so the
+// simulation is exact rather than time-stepped.
+//
+// Two clocks fall out of this, matching the paper's measurement methodology:
+//
+//   - wall clock: the virtual time elapsed (what a stopwatch sees), and
+//   - task clock: the sum of CPU time consumed by every thread (what Linux
+//     perf TASK_CLOCK reports), which exposes total computational cost even
+//     when work hides on otherwise-idle cores.
+//
+// All state is confined to a single goroutine; the engine is deterministic
+// given a seed, which is what lets invocations be replayed and confidence
+// intervals be honest.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in nanoseconds.
+type Time = int64
+
+// Common durations in virtual nanoseconds.
+const (
+	Microsecond = 1e3
+	Millisecond = 1e6
+	Second      = 1e9
+)
+
+// CapacityFunc maps the number of runnable threads to the aggregate CPU
+// capacity delivered by the machine, in units of hardware threads. It must
+// satisfy 0 < C(n) <= n for n > 0 and be non-decreasing in n; the engine
+// shares the capacity equally among runnable threads.
+type CapacityFunc func(runnable int) float64
+
+// Engine is the discrete-event simulator. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now      float64
+	hw       int
+	capacity CapacityFunc
+	threads  []*Thread
+	timers   timerQueue
+	timerSeq int64
+	events   int64
+	maxEv    int64
+
+	// scratch buffers reused across steps to avoid per-step allocation.
+	runnable []*Thread
+	finished []*Thread
+}
+
+// NewEngine returns an engine modelling a machine with hw hardware threads.
+// If capacity is nil, the machine delivers min(n, hw) — perfect scaling up to
+// the hardware thread count.
+func NewEngine(hw int, capacity CapacityFunc) *Engine {
+	if hw < 1 {
+		panic(fmt.Sprintf("sim: hw threads must be >= 1, got %d", hw))
+	}
+	e := &Engine{hw: hw, capacity: capacity, maxEv: math.MaxInt64}
+	if e.capacity == nil {
+		e.capacity = func(n int) float64 {
+			if n > hw {
+				return float64(hw)
+			}
+			return float64(n)
+		}
+	}
+	return e
+}
+
+// Now returns the current virtual time in nanoseconds.
+func (e *Engine) Now() Time { return int64(e.now) }
+
+// NowF returns the current virtual time as a float64 nanosecond count,
+// useful for rate arithmetic without truncation.
+func (e *Engine) NowF() float64 { return e.now }
+
+// HWThreads returns the number of hardware threads in the machine model.
+func (e *Engine) HWThreads() int { return e.hw }
+
+// Events returns the number of scheduling events processed so far.
+func (e *Engine) Events() int64 { return e.events }
+
+// SetEventLimit caps the number of events Run will process before giving up;
+// it is a safety net against runaway simulations. Zero or negative restores
+// the default (unlimited).
+func (e *Engine) SetEventLimit(n int64) {
+	if n <= 0 {
+		n = math.MaxInt64
+	}
+	e.maxEv = n
+}
+
+// TaskClock returns the total CPU time consumed by all threads so far, in
+// nanoseconds — the simulated equivalent of Linux perf TASK_CLOCK.
+func (e *Engine) TaskClock() float64 {
+	var sum float64
+	for _, t := range e.threads {
+		sum += t.cpu
+	}
+	return sum
+}
+
+const timeEps = 1e-6 // tolerance for float time comparisons, in ns
+
+// Step advances the simulation to the next event (quantum completion or timer
+// expiry) and dispatches callbacks. It returns false when the simulation is
+// quiescent: no runnable threads and no pending timers.
+func (e *Engine) Step() bool {
+	e.runnable = e.runnable[:0]
+	for _, t := range e.threads {
+		if t.state == StateRunnable {
+			e.runnable = append(e.runnable, t)
+		}
+	}
+
+	if len(e.runnable) == 0 {
+		if len(e.timers) == 0 {
+			return false
+		}
+		// Idle machine: jump straight to the next timer.
+		e.now = math.Max(e.now, e.timers[0].at)
+		e.fireTimers()
+		e.events++
+		return true
+	}
+
+	n := len(e.runnable)
+	cap := e.capacity(n)
+	if cap <= 0 || cap > float64(n)+timeEps {
+		panic(fmt.Sprintf("sim: invalid capacity %v for %d runnable threads", cap, n))
+	}
+	rate := cap / float64(n)
+
+	// Earliest quantum completion under the current sharing rate.
+	dt := math.Inf(1)
+	for _, t := range e.runnable {
+		if d := t.remaining / rate; d < dt {
+			dt = d
+		}
+	}
+	// Earliest timer.
+	if len(e.timers) > 0 {
+		if d := e.timers[0].at - e.now; d < dt {
+			dt = d
+		}
+	}
+	if dt < 0 {
+		dt = 0
+	}
+
+	// Advance the segment.
+	e.now += dt
+	progress := dt * rate
+	e.finished = e.finished[:0]
+	for _, t := range e.runnable {
+		t.cpu += progress
+		t.remaining -= progress
+		if t.remaining <= timeEps {
+			t.remaining = 0
+			e.finished = append(e.finished, t)
+		}
+	}
+
+	// Dispatch quantum completions (deterministic thread-creation order),
+	// then timers due at or before the new now. A completion callback may
+	// block a later thread in this same batch (a stop-the-world pause
+	// beginning at the very instant that thread's quantum also completed):
+	// such a thread must stay blocked — only clobber Runnable state — but
+	// its completion still fires, since the quantum genuinely finished.
+	// A callback may also Abandon/Finish a later thread, which clears its
+	// onDone and thereby cancels the completion.
+	for _, t := range e.finished {
+		if t.state == StateRunnable {
+			t.state = StateIdle
+		}
+		done := t.onDone
+		t.onDone = nil
+		if done != nil {
+			done()
+		}
+	}
+	e.fireTimers()
+	e.events++
+	return true
+}
+
+// Run steps the simulation until it is quiescent. It returns an error if the
+// event limit is exceeded.
+func (e *Engine) Run() error {
+	for e.Step() {
+		if e.events >= e.maxEv {
+			return fmt.Errorf("sim: event limit %d exceeded at t=%dns", e.maxEv, e.Now())
+		}
+	}
+	return nil
+}
+
+// fireTimers dispatches every timer due at or before now, in (time, creation)
+// order. Callbacks may schedule further timers; those are honoured too if
+// already due.
+func (e *Engine) fireTimers() {
+	for len(e.timers) > 0 && e.timers[0].at <= e.now+timeEps {
+		tm := e.timers.pop()
+		if tm.cancelled {
+			continue
+		}
+		tm.fn()
+	}
+}
+
+// After schedules fn to run at now+d. It returns a handle that can cancel the
+// timer before it fires.
+func (e *Engine) After(d float64, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	if fn == nil {
+		panic("sim: nil timer callback")
+	}
+	e.timerSeq++
+	tm := &Timer{at: e.now + d, seq: e.timerSeq, fn: fn}
+	e.timers.push(tm)
+	return tm
+}
+
+// Timer is a handle to a scheduled callback.
+type Timer struct {
+	at        float64
+	seq       int64
+	fn        func()
+	cancelled bool
+}
+
+// Cancel prevents the timer from firing. Cancelling an already-fired timer is
+// a no-op.
+func (t *Timer) Cancel() { t.cancelled = true }
+
+// timerQueue is a binary min-heap ordered by (at, seq). A hand-rolled heap
+// (rather than container/heap) keeps the hot path free of interface calls.
+type timerQueue []*Timer
+
+func (q timerQueue) less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q *timerQueue) push(t *Timer) {
+	*q = append(*q, t)
+	i := len(*q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		(*q)[i], (*q)[parent] = (*q)[parent], (*q)[i]
+		i = parent
+	}
+}
+
+func (q *timerQueue) pop() *Timer {
+	h := *q
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = nil
+	*q = h[:last]
+	q.siftDown(0)
+	return top
+}
+
+func (q timerQueue) siftDown(i int) {
+	n := len(q)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q[i], q[smallest] = q[smallest], q[i]
+		i = smallest
+	}
+}

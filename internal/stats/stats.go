@@ -1,0 +1,203 @@
+// Package stats provides the descriptive statistics the paper's methodology
+// requires: means, geometric means (the aggregate used for all cross-suite
+// figures), standard deviations, Student-t 95% confidence intervals (the
+// paper runs 10 invocations and plots 95% CIs), and percentiles.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs; 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs, the aggregation the paper uses
+// for cross-benchmark overheads. It panics on non-positive inputs: a
+// non-positive overhead ratio indicates a harness bug, not data.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: GeoMean of non-positive value %v", x))
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator).
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// tTable holds two-sided 97.5% Student-t quantiles for small degrees of
+// freedom; beyond the table the normal approximation is used.
+var tTable = []float64{
+	0:  0, // unused
+	1:  12.706,
+	2:  4.303,
+	3:  3.182,
+	4:  2.776,
+	5:  2.571,
+	6:  2.447,
+	7:  2.365,
+	8:  2.306,
+	9:  2.262,
+	10: 2.228,
+	11: 2.201,
+	12: 2.179,
+	13: 2.160,
+	14: 2.145,
+	15: 2.131,
+	16: 2.120,
+	17: 2.110,
+	18: 2.101,
+	19: 2.093,
+	20: 2.086,
+	25: 2.060,
+	30: 2.042,
+}
+
+// tQuantile returns the two-sided 95% Student-t critical value for df
+// degrees of freedom.
+func tQuantile(df int) float64 {
+	if df < 1 {
+		return 0
+	}
+	if df <= 20 {
+		return tTable[df]
+	}
+	if df <= 25 {
+		return tTable[25]
+	}
+	if df <= 30 {
+		return tTable[30]
+	}
+	return 1.960
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean of
+// xs, using the Student-t distribution as the paper's plots do.
+func CI95(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	return tQuantile(n-1) * StdDev(xs) / math.Sqrt(float64(n))
+}
+
+// Summary bundles the statistics reported for one measured quantity.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	CI95   float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs), Mean: Mean(xs), StdDev: StdDev(xs), CI95: CI95(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between order statistics, matching the conventional
+// definition used for latency distributions. xs need not be sorted.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return PercentileSorted(sorted, p)
+}
+
+// PercentileSorted is Percentile over an already-sorted slice, avoiding the
+// copy for repeated queries.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Rank assigns descending ranks (1 = largest) to vals, resolving ties by
+// first occurrence; it mirrors the paper's nominal-statistic ranking.
+func Rank(vals []float64) []int {
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+	ranks := make([]int, len(vals))
+	for r, i := range idx {
+		ranks[i] = r + 1
+	}
+	return ranks
+}
+
+// ScoreFromRank linearly maps rank 1..n (1 = largest value) onto a score
+// 10..1 as the paper's nominal statistics do: 10 is the highest-ranked
+// benchmark, 1 (or 0 for very large suites) the lowest.
+func ScoreFromRank(rank, n int) int {
+	if n <= 1 {
+		return 10
+	}
+	score := int(math.Round(10 - 9*float64(rank-1)/float64(n-1)))
+	if score < 0 {
+		score = 0
+	}
+	if score > 10 {
+		score = 10
+	}
+	return score
+}

@@ -1,0 +1,237 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("mean = %v, want 2.5", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("mean of empty = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("geomean = %v, want 2", got)
+	}
+	if got := GeoMean([]float64{3, 3, 3}); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("geomean = %v, want 3", got)
+	}
+}
+
+func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestStdDevKnownValue(t *testing.T) {
+	// sample stddev of {2,4,4,4,5,5,7,9} is ~2.138 (n-1 denominator).
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.13809) > 1e-4 {
+		t.Fatalf("stddev = %v, want 2.138", got)
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("stddev of singleton should be 0")
+	}
+}
+
+func TestCI95KnownValue(t *testing.T) {
+	// n=10, df=9, t=2.262; stddev of 1..10 is ~3.0277.
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	want := 2.262 * StdDev(xs) / math.Sqrt(10)
+	if got := CI95(xs); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CI95 = %v, want %v", got, want)
+	}
+}
+
+func TestCI95LargeSampleUsesNormal(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i % 7)
+	}
+	want := 1.960 * StdDev(xs) / 10
+	if got := CI95(xs); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CI95 = %v, want %v", got, want)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.N != 3 || s.Min != 1 || s.Max != 3 || s.Mean != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if got := Percentile(xs, 50); math.Abs(got-25) > 1e-9 {
+		t.Fatalf("p50 = %v, want 25", got)
+	}
+	if got := Percentile(xs, 0); got != 10 {
+		t.Fatalf("p0 = %v, want 10", got)
+	}
+	if got := Percentile(xs, 100); got != 40 {
+		t.Fatalf("p100 = %v, want 40", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("p50 of empty = %v", got)
+	}
+}
+
+func TestRank(t *testing.T) {
+	ranks := Rank([]float64{10, 30, 20})
+	want := []int{3, 1, 2}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", ranks, want)
+		}
+	}
+}
+
+func TestRankTiesStable(t *testing.T) {
+	ranks := Rank([]float64{5, 5, 5})
+	want := []int{1, 2, 3}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("tied ranks = %v, want %v", ranks, want)
+		}
+	}
+}
+
+func TestScoreFromRank(t *testing.T) {
+	// 22 benchmarks, like the suite: rank 1 -> 10, rank 22 -> 1.
+	if got := ScoreFromRank(1, 22); got != 10 {
+		t.Fatalf("score(1) = %d, want 10", got)
+	}
+	if got := ScoreFromRank(22, 22); got != 1 {
+		t.Fatalf("score(22) = %d, want 1", got)
+	}
+	mid := ScoreFromRank(11, 22)
+	if mid < 5 || mid > 6 {
+		t.Fatalf("score(11) = %d, want 5 or 6", mid)
+	}
+}
+
+func TestQuickGeoMeanBetweenMinAndMax(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		min, max := math.Inf(1), 0.0
+		for i, r := range raw {
+			xs[i] = float64(r%1000) + 1
+			min = math.Min(min, xs[i])
+			max = math.Max(max, xs[i])
+		}
+		g := GeoMean(xs)
+		return g >= min-1e-9 && g <= max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []uint16, aRaw, bRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		a := float64(aRaw) / 255 * 100
+		b := float64(bRaw) / 255 * 100
+		if a > b {
+			a, b = b, a
+		}
+		return Percentile(xs, a) <= Percentile(xs, b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRankIsPermutation(t *testing.T) {
+	f := func(raw []uint16) bool {
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r)
+		}
+		ranks := Rank(vals)
+		seen := make([]bool, len(ranks))
+		for _, r := range ranks {
+			if r < 1 || r > len(ranks) || seen[r-1] {
+				return false
+			}
+			seen[r-1] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTQuantileBands(t *testing.T) {
+	// Exercise each branch of the t-table lookup.
+	cases := map[int]float64{
+		1:   12.706,
+		9:   2.262,
+		20:  2.086,
+		23:  2.060, // 21..25 band
+		28:  2.042, // 26..30 band
+		100: 1.960, // normal approximation
+	}
+	for df, want := range cases {
+		xs := make([]float64, df+1)
+		for i := range xs {
+			xs[i] = float64(i % 5)
+		}
+		wantCI := want * StdDev(xs) / math.Sqrt(float64(df+1))
+		if got := CI95(xs); math.Abs(got-wantCI) > 1e-9 {
+			t.Errorf("df=%d: CI = %v, want %v", df, got, wantCI)
+		}
+	}
+	if CI95([]float64{1}) != 0 {
+		t.Error("CI of singleton should be 0")
+	}
+}
+
+func TestScoreFromRankClamps(t *testing.T) {
+	if got := ScoreFromRank(5, 1); got != 10 {
+		t.Fatalf("single-benchmark score = %d, want 10", got)
+	}
+	for rank := 1; rank <= 22; rank++ {
+		s := ScoreFromRank(rank, 22)
+		if s < 1 || s > 10 {
+			t.Fatalf("score(%d,22) = %d out of range", rank, s)
+		}
+	}
+	// Scores are monotone in rank.
+	prev := 11
+	for rank := 1; rank <= 22; rank++ {
+		s := ScoreFromRank(rank, 22)
+		if s > prev {
+			t.Fatalf("score increased with rank at %d", rank)
+		}
+		prev = s
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}

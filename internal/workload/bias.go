@@ -1,0 +1,56 @@
+package workload
+
+import "chopin/internal/sim"
+
+// Measurement bias (Mytkowicz et al., cited by the paper's Section 4.3).
+//
+// "Producing wrong data without doing anything obviously wrong!" showed that
+// incidental experimental-setup details — the byte length of environment
+// variables shifting stack alignment, link order shifting code layout — can
+// bias measurements by several percent, enough to flip conclusions. The
+// paper tells researchers to heed that advice; this file gives the simulator
+// the machinery to (a) inject such a bias so the pitfall can be demonstrated
+// and (b) randomize the setup per invocation, the standard mitigation.
+//
+// A Setup models one concrete experimental environment. Its bias is a
+// deterministic function of the environment-block length and link seed — the
+// same setup always produces the same bias, which is exactly what makes the
+// pitfall insidious: it is perfectly repeatable and looks like signal.
+
+// Setup describes the incidental experimental environment of an invocation.
+type Setup struct {
+	// EnvBytes is the total byte length of the process environment block
+	// (the UNIX env Mytkowicz et al. varied by changing a variable's
+	// length).
+	EnvBytes int
+	// LinkSeed stands for the link order / code layout of the binary.
+	LinkSeed uint64
+}
+
+// maxBiasFrac bounds the layout-induced execution-time bias; Mytkowicz et
+// al. observed effects up to ~10%, commonly a few percent.
+const maxBiasFrac = 0.08
+
+// Bias returns the setup's deterministic execution-time multiplier in
+// [1-maxBiasFrac/2, 1+maxBiasFrac/2]. Alignment effects are periodic in the
+// environment size (stack alignment wraps at cache-line granularity), which
+// the hash structure reflects.
+func (s Setup) Bias() float64 {
+	h := sim.NewRNG(uint64(s.EnvBytes%4096)*2654435761 ^ s.LinkSeed)
+	return 1 + maxBiasFrac*(h.Float64()-0.5)
+}
+
+// RandomizedSetups returns n distinct setups drawn from a seed — the
+// mitigation: measuring across randomized environments turns layout bias
+// into visible variance instead of invisible offset.
+func RandomizedSetups(n int, seed uint64) []Setup {
+	rng := sim.NewRNG(seed ^ 0x5e7095)
+	out := make([]Setup, n)
+	for i := range out {
+		out[i] = Setup{
+			EnvBytes: 512 + rng.Intn(3584),
+			LinkSeed: rng.Uint64(),
+		}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"chopin/internal/cpuarch"
+	"chopin/internal/heap"
+	"chopin/internal/jit"
+)
+
+// The paper's related-work discussion (Section 3.2) distinguishes realistic
+// suites from micro benchmarks — gcbench, JSR-166 tests, the benchmarks
+// game — and notes that "simple, deterministic workloads can be particularly
+// helpful in identifying and attributing specific performance regressions
+// with high fidelity". This file provides that complement: a small family of
+// micro workloads with analytically-known behaviour, kept *outside* the
+// 22-workload suite (they do not appear in All/Names) and reachable via
+// Micros/MicroByName. The test suite uses them to validate collector
+// behaviour against closed-form expectations.
+
+var microRegistry = map[string]*Descriptor{}
+
+func registerMicro(d *Descriptor) *Descriptor {
+	if err := d.Validate(); err != nil {
+		panic(err)
+	}
+	if _, dup := microRegistry[d.Name]; dup {
+		panic("workload: duplicate micro " + d.Name)
+	}
+	microRegistry[d.Name] = d
+	return d
+}
+
+// Micros returns the micro-benchmark family, in a fixed order.
+func Micros() []*Descriptor {
+	return []*Descriptor{MicroGCBench, MicroAllocStorm, MicroSteady, MicroPauseProbe}
+}
+
+// MicroByName returns the named micro benchmark.
+func MicroByName(name string) (*Descriptor, error) {
+	if d, ok := microRegistry[name]; ok {
+		return d, nil
+	}
+	return nil, errUnknownMicro(name)
+}
+
+type errUnknownMicro string
+
+func (e errUnknownMicro) Error() string {
+	return "workload: unknown micro benchmark \"" + string(e) + "\""
+}
+
+// neutralArch is a featureless CPU profile: IPC 2 with no stalls or
+// sensitivities, so micro results isolate GC behaviour.
+var neutralArch = cpuarch.Profile{TargetIPC: 2.0}
+
+// neutralJit warms instantly.
+var neutralJit = jit.Model{WarmupIters: 1}
+
+// MicroGCBench models the classic Ellis/Kovac/Boehm gcbench: build and drop
+// complete binary trees. Almost everything dies young; a small long-lived
+// tree persists. Allocation-bound with uniform node sizes.
+var MicroGCBench = registerMicro(&Descriptor{
+	Name:        "micro-gcbench",
+	Description: "gcbench-style binary tree churn; uniform nodes, everything dies young",
+	Class:       Batch,
+	Threads:     1, Events: 1000, PETSeconds: 1, ARA: 4000, ServiceSigma: 0,
+	LiveMB: 16, MinHeapMB: 20,
+	Demo: heap.Demographics{
+		YoungSurvival: 0.05, RefNursery: 8 * MB, SurvivalDecay: 0.4,
+		CompactFraction: 0.5,
+		AvgObjectBytes:  40, ObjectBytesP10: 40, ObjectBytesMedian: 40, ObjectBytesP90: 40,
+	},
+	Arch: neutralArch, Jit: neutralJit,
+})
+
+// MicroAllocStorm allocates as fast as a single thread can with a minimal
+// live set: the pure allocation-rate stressor (a lusearch distillate).
+var MicroAllocStorm = registerMicro(&Descriptor{
+	Name:        "micro-allocstorm",
+	Description: "maximum-rate allocation with a tiny live set",
+	Class:       Batch,
+	Threads:     4, Events: 1000, PETSeconds: 1, ARA: 20000, ServiceSigma: 0,
+	LiveMB: 4, MinHeapMB: 6,
+	Demo: heap.Demographics{
+		YoungSurvival: 0.02, RefNursery: 8 * MB, SurvivalDecay: 0.4,
+		CompactFraction: 0.5,
+		AvgObjectBytes:  64, ObjectBytesP10: 64, ObjectBytesMedian: 64, ObjectBytesP90: 64,
+	},
+	Arch: neutralArch, Jit: neutralJit,
+})
+
+// MicroSteady holds a fixed live set and allocates slowly: in a roomy heap
+// it should trigger (nearly) no collections, making it the zero-overhead
+// control for LBO sanity checks.
+var MicroSteady = registerMicro(&Descriptor{
+	Name:        "micro-steady",
+	Description: "steady live set, negligible allocation; the zero-GC control",
+	Class:       Batch,
+	Threads:     2, Events: 1000, PETSeconds: 1, ARA: 10, ServiceSigma: 0,
+	LiveMB: 32, MinHeapMB: 36,
+	Demo: heap.Demographics{
+		YoungSurvival: 0.10, RefNursery: 8 * MB, SurvivalDecay: 0.4,
+		CompactFraction: 0.5,
+		AvgObjectBytes:  48, ObjectBytesP10: 48, ObjectBytesMedian: 48, ObjectBytesP90: 48,
+	},
+	Arch: neutralArch, Jit: neutralJit,
+})
+
+// MicroPauseProbe is a request workload with perfectly regular, cheap
+// requests: any latency above the service time is runtime-induced, so its
+// latency distribution reads GC behaviour directly.
+var MicroPauseProbe = registerMicro(&Descriptor{
+	Name:             "micro-pauseprobe",
+	Description:      "regular cheap requests; latency tail is pure runtime interference",
+	Class:            Request,
+	LatencySensitive: true,
+	Threads:          2, Events: 4000, PETSeconds: 2, ARA: 2000, ServiceSigma: 0.01,
+	LiveMB: 16, MinHeapMB: 20,
+	Demo: heap.Demographics{
+		YoungSurvival: 0.05, RefNursery: 8 * MB, SurvivalDecay: 0.4,
+		CompactFraction: 0.5,
+		AvgObjectBytes:  56, ObjectBytesP10: 56, ObjectBytesMedian: 56, ObjectBytesP90: 56,
+	},
+	Arch: neutralArch, Jit: neutralJit,
+})

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"chopin/internal/gc"
+	"chopin/internal/latency"
+)
+
+func TestMicrosOutsideTheSuite(t *testing.T) {
+	if len(Micros()) != 4 {
+		t.Fatalf("micro family has %d members, want 4", len(Micros()))
+	}
+	for _, m := range Micros() {
+		if _, err := ByName(m.Name); err == nil {
+			t.Fatalf("micro %s leaked into the 22-workload suite", m.Name)
+		}
+		got, err := MicroByName(m.Name)
+		if err != nil || got != m {
+			t.Fatalf("MicroByName(%s) = %v, %v", m.Name, got, err)
+		}
+	}
+	if _, err := MicroByName("nope"); err == nil {
+		t.Fatal("unknown micro should error")
+	}
+}
+
+func TestMicroSteadyIsNearlyGCFree(t *testing.T) {
+	// The zero-GC control: in a 4x heap with ~no allocation, GC overhead
+	// must be negligible for every collector that fits.
+	for _, kind := range []gc.Kind{gc.Serial, gc.Parallel, gc.G1} {
+		res, err := Run(MicroSteady, RunConfig{
+			HeapMB: 4 * MicroSteady.MinHeapMB, Collector: kind,
+			Iterations: 2, Events: 500, Seed: 1,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		last := res.Last()
+		if frac := res.Log.TotalPauseNS() / (2 * last.WallNS); frac > 0.01 {
+			t.Errorf("%v: pause fraction %.3f on the zero-GC control", kind, frac)
+		}
+	}
+}
+
+func TestMicroGCBenchOverheadMatchesClosedForm(t *testing.T) {
+	// For a deterministic allocation-bound workload under Serial, young GC
+	// CPU per allocated byte is approximately
+	// survival(nursery) * (mark + copy) ns/B. Check the measured total GC
+	// CPU against that closed form within a factor band.
+	d := MicroGCBench
+	heapMB := 4 * d.MinHeapMB
+	res, err := Run(d, RunConfig{
+		HeapMB: heapMB, Collector: gc.Serial, Iterations: 2, Events: 800, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alloc float64
+	for _, it := range res.Iterations {
+		alloc += it.Allocated
+	}
+	p := gc.Serial.Params(16)
+	// The nursery floats with free space; bound it by the configured policy.
+	freeAfterLive := heapMB*MB - d.LiveMB*MB
+	nursery := freeAfterLive * p.YoungFracOfFree
+	surv := d.Demo.SurvivalAt(nursery)
+	predicted := alloc * surv * (p.MarkNsPerByte + p.CopyNsPerByte)
+	measured := res.Log.TotalGCCPUNS()
+	ratio := measured / predicted
+	if ratio < 0.5 || ratio > 3 {
+		t.Fatalf("GC CPU %.3gns vs closed-form %.3gns (ratio %.2f) — cost model drifted",
+			measured, predicted, ratio)
+	}
+}
+
+func TestMicroAllocStormStressesEveryCollector(t *testing.T) {
+	for _, kind := range gc.Kinds {
+		res, err := Run(MicroAllocStorm, RunConfig{
+			HeapMB: 4 * MicroAllocStorm.MinHeapMB, Collector: kind,
+			Iterations: 1, Events: 600, Seed: 2,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if len(res.Log.Events) == 0 {
+			t.Errorf("%v: no collections under an allocation storm", kind)
+		}
+	}
+}
+
+func TestMicroPauseProbeTailReadsPauses(t *testing.T) {
+	// The probe's service time is nearly constant, so the latency tail
+	// (p99.9 - p50) under Serial must be explained by pauses: it should be
+	// on the order of the maximum pause.
+	res, err := Run(MicroPauseProbe, RunConfig{
+		HeapMB: 2 * MicroPauseProbe.MinHeapMB, Collector: gc.Serial,
+		Iterations: 2, Events: 3000, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := make([]latency.Event, len(res.Events))
+	for i, e := range res.Events {
+		evs[i] = latency.Event{Start: e.Start, End: e.End}
+	}
+	dist := latency.NewDistribution(latency.Simple(evs))
+	tail := dist.Percentile(99.9) - dist.Percentile(50)
+	maxPause := res.Log.MaxPauseNS()
+	if maxPause <= 0 {
+		t.Skip("no pauses in probe run")
+	}
+	if tail < 0.3*maxPause || tail > 5*maxPause {
+		t.Fatalf("latency tail %.3gms not explained by pauses (max %.3gms)",
+			tail/1e6, maxPause/1e6)
+	}
+}
+
+func TestMicroDeterminism(t *testing.T) {
+	run := func() float64 {
+		res, err := Run(MicroGCBench, RunConfig{
+			HeapMB: 3 * MicroGCBench.MinHeapMB, Collector: gc.G1,
+			Iterations: 1, Events: 400, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Last().WallNS
+	}
+	if a, b := run(), run(); a != b || math.IsNaN(a) {
+		t.Fatalf("micro run not deterministic: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"fmt"
+
+	"chopin/internal/sim"
+)
+
+// Open-loop execution mode.
+//
+// DaCapo's request workloads are closed-loop by design: each worker starts
+// its next request when its previous one completes, and the paper's metered
+// latency then *models* the queueing behaviour of a real open system by
+// assigning uniform synthetic arrival times (Section 4.4: "Sacrificing some
+// realism for determinism"). Our substrate is a simulator, so it can do what
+// the real suite could not: actually run the open system. In open-loop mode
+// requests arrive on a fixed schedule regardless of completion, queue when
+// all workers are busy, and each event's latency runs from *arrival* to
+// completion — the ground truth that metered latency approximates. The
+// ablation bench compares the two.
+//
+// Mechanically, arrivals are driven by engine timers; to respect the
+// collector's pause discipline (mutator quanta may only start from Alloc
+// callbacks), an arrival never Execs a worker directly — it enqueues, and
+// idle workers are kicked through the collector's Alloc path, which defers
+// across stop-the-world pauses.
+
+// runOpenLoopIteration executes one iteration with scheduled arrivals at the
+// workload's nominal rate (events spread uniformly over PET seconds).
+func (r *runner) runOpenLoopIteration(iter int) (IterationResult, error) {
+	r.iter = iter
+	r.recording = iter == r.cfg.Iterations-1 &&
+		(r.d.LatencySensitive || r.cfg.RecordLatency)
+	if r.recording {
+		r.latencies = make([]Event, 0, r.events)
+	}
+	r.h.SetTargetLive(r.targetLive(iter))
+
+	start := r.eng.Now()
+	cpu0 := r.eng.TaskClock()
+	alloc0 := r.h.TotalAllocated()
+	kern0 := r.kernelCPU()
+
+	// Arrival schedule: r.events arrivals spread uniformly across the
+	// iteration's nominal duration.
+	intervalNS := r.d.PETSeconds * 1e9 / float64(r.events)
+	if r.cfg.OpenLoopHeadroom > 0 {
+		intervalNS *= r.cfg.OpenLoopHeadroom
+	}
+	type pending struct{ arrival sim.Time }
+	var queue []pending
+	busy := make(map[*sim.Thread]bool)
+	arrived, completed := 0, 0
+
+	var dispatch func()
+	serve := func(w *sim.Thread, p pending) {
+		busy[w] = true
+		r.executeEvent(w, func() {
+			if r.recording {
+				r.latencies = append(r.latencies, Event{Start: p.arrival, End: r.eng.Now()})
+			}
+			completed++
+			busy[w] = false
+			dispatch()
+		})
+	}
+	dispatch = func() {
+		if r.oom {
+			return
+		}
+		for len(queue) > 0 {
+			var w *sim.Thread
+			for _, cand := range r.workers {
+				if !busy[cand] {
+					w = cand
+					break
+				}
+			}
+			if w == nil {
+				return
+			}
+			p := queue[0]
+			queue = queue[1:]
+			serve(w, p)
+		}
+	}
+
+	for i := 0; i < r.events; i++ {
+		at := float64(i) * intervalNS
+		r.eng.After(at, func() {
+			arrived++
+			queue = append(queue, pending{arrival: r.eng.Now()})
+			dispatch()
+		})
+	}
+	if err := r.eng.Run(); err != nil {
+		return IterationResult{}, fmt.Errorf("%s: %w", r.d.Name, err)
+	}
+	if r.oom {
+		return IterationResult{}, &ErrOutOfMemory{r.d.Name, r.cfg.HeapMB, r.cfg.Collector}
+	}
+	if completed != r.events {
+		return IterationResult{}, fmt.Errorf(
+			"%s: open-loop iteration lost events: %d arrived, %d completed",
+			r.d.Name, arrived, completed)
+	}
+	end := r.eng.Now()
+	return IterationResult{
+		WallNS:    float64(end - start),
+		CPUNS:     r.eng.TaskClock() - cpu0,
+		KernelNS:  r.kernelCPU() - kern0,
+		Allocated: r.h.TotalAllocated() - alloc0,
+		StartNS:   start,
+		EndNS:     end,
+	}, nil
+}

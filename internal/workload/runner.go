@@ -1,0 +1,351 @@
+package workload
+
+import (
+	"fmt"
+
+	"chopin/internal/cpuarch"
+	"chopin/internal/gc"
+	"chopin/internal/heap"
+	"chopin/internal/jit"
+	"chopin/internal/sim"
+	"chopin/internal/trace"
+)
+
+// RunConfig selects everything about one benchmark invocation: the JVM-side
+// knobs the paper sweeps (collector, heap size, compiler configuration,
+// compressed oops) and the experiment-side knobs (machine model, iteration
+// and event counts, seed).
+type RunConfig struct {
+	// HeapMB is the -Xmx/-Xms heap limit in megabytes.
+	HeapMB float64
+	// Collector selects the garbage collector.
+	Collector gc.Kind
+	// CollectorParams, when non-nil, overrides the collector's preset —
+	// the hook for ablation studies (pacer off, generational off, barrier
+	// tax sweeps).
+	CollectorParams *gc.Params
+	// Machine is the processor model; the zero value means the reference
+	// Zen4 machine.
+	Machine cpuarch.Machine
+	// Compiler is the JIT configuration (default tiered).
+	Compiler jit.Config
+	// Iterations is the number of benchmark iterations (-n); default 1.
+	Iterations int
+	// Events overrides the per-iteration event count (0 = workload default).
+	// Scaling events down keeps the workload's rates intact while making
+	// sweeps affordable.
+	Events int
+	// Seed makes the invocation deterministic; different seeds model
+	// different invocations.
+	Seed uint64
+	// DisableCompressedOops inflates the footprint of compressed-pointer
+	// collectors by ~1.3x (the GMU experiment). ZGC is unaffected: it never
+	// compresses pointers.
+	DisableCompressedOops bool
+	// ThreadsOverride replaces the workload's worker count (0 = default);
+	// used by parallel-efficiency experiments.
+	ThreadsOverride int
+	// RecordLatency forces per-event timing even for workloads that are not
+	// latency-sensitive.
+	RecordLatency bool
+	// Setup injects a Mytkowicz-style experimental-environment bias (see
+	// bias.go): the same setup biases every quantum by the same hidden
+	// factor. nil means a neutral environment.
+	Setup *Setup
+	// OpenLoopHeadroom stretches the open-loop arrival interval by the given
+	// factor (0 means 1.0 = arrivals at the workload's nominal ideal rate).
+	// Real load tests drive below saturation; with GC overhead, nominal-rate
+	// arrivals can exceed capacity and diverge, which is itself a valid
+	// experiment but not the usual one.
+	OpenLoopHeadroom float64
+	// OpenLoop replaces the DaCapo-style closed-loop request discipline with
+	// scheduled arrivals at the workload's nominal rate: requests queue when
+	// workers are busy and latency runs from arrival to completion. This is
+	// the ground-truth queueing behaviour that metered latency approximates
+	// (see internal/workload/openloop.go). Build phases are not modelled in
+	// open-loop mode; the live set is installed directly.
+	OpenLoop bool
+}
+
+// Event is one timed request/frame: its processing start and end in virtual
+// nanoseconds. The latency methodology consumes these.
+type Event struct {
+	Start, End sim.Time
+}
+
+// IterationResult is the measurement of a single iteration.
+type IterationResult struct {
+	WallNS    float64
+	CPUNS     float64 // task-clock delta: all threads, including GC
+	KernelNS  float64 // mutator kernel-mode share
+	Allocated float64 // bytes allocated this iteration
+	StartNS   sim.Time
+	EndNS     sim.Time
+}
+
+// Result is the outcome of one invocation.
+type Result struct {
+	Workload   string
+	Config     RunConfig
+	Iterations []IterationResult
+	// Events holds the last iteration's per-event times (build-phase events
+	// excluded) when latency was recorded.
+	Events []Event
+	// Log is the full-run GC telemetry.
+	Log *trace.Log
+	// GCCPUNS is the total CPU consumed by GC threads over the run.
+	GCCPUNS float64
+	// MutatorCPUNS is the total CPU consumed by mutator threads.
+	MutatorCPUNS float64
+}
+
+// Last returns the final (best-warmed) iteration measurement.
+func (r *Result) Last() IterationResult {
+	return r.Iterations[len(r.Iterations)-1]
+}
+
+// ErrOutOfMemory is returned when the collector cannot satisfy an allocation
+// even after a full collection: the heap is below the workload's minimum.
+type ErrOutOfMemory struct {
+	Workload string
+	HeapMB   float64
+	Kind     gc.Kind
+}
+
+func (e *ErrOutOfMemory) Error() string {
+	return fmt.Sprintf("%s: OutOfMemory with %v at %.0fMB", e.Workload, e.Kind, e.HeapMB)
+}
+
+// runner drives one invocation.
+type runner struct {
+	d       *Descriptor
+	cfg     RunConfig
+	eng     *sim.Engine
+	h       *heap.Heap
+	col     *gc.Collector
+	log     *trace.Log
+	rng     *sim.RNG
+	workers []*sim.Thread
+
+	events      int
+	medianNS    float64
+	bytesPer    float64
+	archFactor  float64
+	buildEvents int
+
+	iter      int
+	nextEvent int
+	oom       bool
+	recording bool
+	latencies []Event
+}
+
+// Run executes the workload under cfg and returns its measurements.
+func Run(d *Descriptor, cfg RunConfig) (*Result, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.HeapMB <= 0 {
+		return nil, fmt.Errorf("workload %s: heap %vMB invalid", d.Name, cfg.HeapMB)
+	}
+	if cfg.Machine.Name == "" {
+		cfg.Machine = cpuarch.Zen4
+	}
+	if cfg.Iterations < 1 {
+		cfg.Iterations = 1
+	}
+
+	p := cfg.Collector.Params(cfg.Machine.Cores)
+	if cfg.CollectorParams != nil {
+		p = *cfg.CollectorParams
+	}
+	expansion := p.Expansion
+	if cfg.DisableCompressedOops && expansion < 1.30 {
+		expansion = 1.30
+	}
+
+	eng := sim.NewEngine(cfg.Machine.HWThreads, cfg.Machine.Capacity(d.Arch.SMTContention))
+	eng.SetEventLimit(500_000_000)
+	h := heap.New(heap.Config{SizeBytes: cfg.HeapMB * MB, Expansion: expansion}, d.Demo)
+	log := &trace.Log{}
+	col := gc.New(p, eng, h, log)
+
+	threads := d.Threads
+	if cfg.ThreadsOverride > 0 {
+		threads = cfg.ThreadsOverride
+	}
+	events := d.Events
+	if cfg.Events > 0 {
+		events = cfg.Events
+	}
+
+	r := &runner{
+		d: d, cfg: cfg, eng: eng, h: h, col: col, log: log,
+		rng:        sim.NewRNG(cfg.Seed ^ hashName(d.Name)),
+		events:     events,
+		medianNS:   d.ServiceMedianNS(events),
+		bytesPer:   d.BytesPerEvent(events),
+		archFactor: d.Arch.TimeFactor(cfg.Machine),
+	}
+	if cfg.Setup != nil {
+		// Layout bias multiplies all compute, indistinguishable from a
+		// slightly different machine — which is the point.
+		r.archFactor *= cfg.Setup.Bias()
+	}
+	if d.BuildFrac > 0 {
+		r.buildEvents = int(float64(events) * d.BuildFrac)
+	}
+	for i := 0; i < threads; i++ {
+		w := eng.NewThread(fmt.Sprintf("%s-worker-%d", d.Name, i))
+		w.SetKernelFraction(d.KernelFrac)
+		col.RegisterMutator(w)
+		r.workers = append(r.workers, w)
+	}
+
+	res := &Result{Workload: d.Name, Config: cfg, Log: log}
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		var it IterationResult
+		var err error
+		if cfg.OpenLoop {
+			it, err = r.runOpenLoopIteration(iter)
+		} else {
+			it, err = r.runIteration(iter)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Iterations = append(res.Iterations, it)
+	}
+	res.Events = r.latencies
+	res.GCCPUNS = col.GCCPU()
+	for _, w := range r.workers {
+		res.MutatorCPUNS += w.CPU()
+	}
+	return res, nil
+}
+
+// hashName derives a per-workload seed component (FNV-1a).
+func hashName(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// targetLive returns the declared live set for an iteration, including leak.
+func (r *runner) targetLive(iter int) float64 {
+	return r.d.LiveMB*MB + r.d.LeakMBPerIter*MB*float64(iter)
+}
+
+func (r *runner) runIteration(iter int) (IterationResult, error) {
+	r.iter = iter
+	r.nextEvent = 0
+	r.recording = iter == r.cfg.Iterations-1 &&
+		(r.d.LatencySensitive || r.cfg.RecordLatency)
+	if r.recording {
+		r.latencies = make([]Event, 0, r.events)
+	}
+	if iter == 0 && r.buildEvents > 0 {
+		// The live set ramps up as the build phase progresses.
+		r.h.SetTargetLive(0)
+	} else {
+		r.h.SetTargetLive(r.targetLive(iter))
+	}
+
+	start := r.eng.Now()
+	cpu0 := r.eng.TaskClock()
+	alloc0 := r.h.TotalAllocated()
+	kern0 := r.kernelCPU()
+
+	for _, w := range r.workers {
+		r.startNext(w)
+	}
+	if err := r.eng.Run(); err != nil {
+		return IterationResult{}, fmt.Errorf("%s: %w", r.d.Name, err)
+	}
+	if r.oom {
+		return IterationResult{}, &ErrOutOfMemory{r.d.Name, r.cfg.HeapMB, r.cfg.Collector}
+	}
+	end := r.eng.Now()
+	return IterationResult{
+		WallNS:    float64(end - start),
+		CPUNS:     r.eng.TaskClock() - cpu0,
+		KernelNS:  r.kernelCPU() - kern0,
+		Allocated: r.h.TotalAllocated() - alloc0,
+		StartNS:   start,
+		EndNS:     end,
+	}, nil
+}
+
+func (r *runner) kernelCPU() float64 {
+	var sum float64
+	for _, w := range r.workers {
+		sum += w.KernelCPU()
+	}
+	return sum
+}
+
+// allocSliceBytes bounds a single allocation request so that one event's
+// allocation cannot dwarf a small heap; events allocating more are split
+// into slices with the service CPU interleaved, which also lets GC activity
+// land mid-event as it does in reality.
+const allocSliceBytes = 512 << 10
+
+// executeEvent runs one event's sliced allocate-then-compute sequence on
+// worker w and calls done when the event completes (or flags OOM and stops).
+// Both the closed-loop and open-loop disciplines are built on it.
+func (r *runner) executeEvent(w *sim.Thread, done func()) {
+	bytes := r.rng.Jitter(r.bytesPer, 0.10)
+	slices := 1 + int(bytes/allocSliceBytes)
+	if slices > 64 {
+		slices = 64
+	}
+	cost := r.rng.LogNormal(r.medianNS, r.d.ServiceSigma) *
+		r.archFactor *
+		r.d.Jit.Factor(r.cfg.Compiler, r.iter)
+	sliceBytes := bytes / float64(slices)
+	sliceCost := cost / float64(slices)
+
+	remaining := slices
+	var step func()
+	step = func() {
+		if remaining == 0 {
+			done()
+			return
+		}
+		remaining--
+		r.col.Alloc(sliceBytes, func(ok bool) {
+			if !ok {
+				r.oom = true
+				return
+			}
+			// The barrier tax is sampled per slice so concurrent-cycle
+			// activity is reflected while it is actually running.
+			w.Exec(sliceCost*r.col.MutatorFactor(), step)
+		})
+	}
+	step()
+}
+
+// startNext has worker w claim and process the next event of the iteration:
+// allocate (possibly stalling in GC), burn service CPU, record, repeat.
+func (r *runner) startNext(w *sim.Thread) {
+	if r.oom || r.nextEvent >= r.events {
+		return // worker parks; the engine drains when all park
+	}
+	idx := r.nextEvent
+	r.nextEvent++
+	start := r.eng.Now()
+	r.executeEvent(w, func() {
+		inBuild := r.iter == 0 && idx < r.buildEvents
+		if inBuild {
+			frac := float64(idx+1) / float64(r.buildEvents)
+			r.h.SetTargetLive(r.targetLive(0) * frac)
+		} else if r.recording {
+			r.latencies = append(r.latencies, Event{Start: start, End: r.eng.Now()})
+		}
+		r.startNext(w)
+	})
+}

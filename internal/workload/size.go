@@ -1,0 +1,77 @@
+package workload
+
+import "fmt"
+
+// Size selects one of the suite's input-size configurations. The real suite
+// ships different inputs per size; our models scale the live set (and with
+// it the minimum heap) and the event count. The paper's headline range —
+// minimum heaps from 5MB (avrora, default) to 20GB (h2, vlarge) — comes from
+// these configurations.
+type Size int
+
+// Input sizes.
+const (
+	SizeDefault Size = iota
+	SizeSmall
+	SizeLarge
+	SizeVLarge
+)
+
+func (s Size) String() string {
+	switch s {
+	case SizeDefault:
+		return "default"
+	case SizeSmall:
+		return "small"
+	case SizeLarge:
+		return "large"
+	case SizeVLarge:
+		return "vlarge"
+	}
+	return fmt.Sprintf("size(%d)", int(s))
+}
+
+// ParseSize resolves a size name.
+func ParseSize(name string) (Size, error) {
+	for _, s := range []Size{SizeDefault, SizeSmall, SizeLarge, SizeVLarge} {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown size %q", name)
+}
+
+// sizeScales maps a size to (live-set multiplier, event multiplier). The
+// live multipliers follow the published GMS/GML/GMV-to-GMD ratios of the
+// suite (small ~1/4, large ~8x, vlarge ~30x — h2's vlarge minimum heap is
+// 20.6GB against a 681MB default).
+var sizeScales = map[Size]struct{ live, events float64 }{
+	SizeDefault: {1, 1},
+	SizeSmall:   {0.25, 0.5},
+	SizeLarge:   {8, 2},
+	SizeVLarge:  {30, 4},
+}
+
+// Scaled returns a copy of the descriptor configured for the given input
+// size. The default size returns the descriptor unchanged.
+func (d *Descriptor) Scaled(s Size) *Descriptor {
+	if s == SizeDefault {
+		return d
+	}
+	scale, ok := sizeScales[s]
+	if !ok {
+		panic(fmt.Sprintf("workload: no scale for %v", s))
+	}
+	out := *d
+	out.LiveMB *= scale.live
+	out.LeakMBPerIter *= scale.live
+	out.MinHeapMB *= scale.live
+	out.Events = int(float64(d.Events) * scale.events)
+	if out.Events < 100 {
+		out.Events = 100
+	}
+	// Larger inputs allocate more in total and run longer; the allocation
+	// *rate* is an intrinsic property and stays put.
+	out.PETSeconds *= scale.events
+	return &out
+}
