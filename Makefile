@@ -1,0 +1,17 @@
+# Tier-1 verification (see ROADMAP.md): build, vet, and the full test suite
+# under the race detector — the engine is deliberately concurrent, so -race
+# is part of the baseline, not an extra.
+.PHONY: tier1
+tier1:
+	go build ./...
+	go vet ./...
+	go test -race ./...
+
+.PHONY: test
+test:
+	go test ./...
+
+# Figure/table regeneration benches (reduced sizes; minutes, not hours).
+.PHONY: bench
+bench:
+	go test -bench=. -benchtime=1x -run='^$$' .

@@ -406,6 +406,42 @@ func BenchmarkAblationGenerational(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineWarmCache measures the experiment engine's resume path: an
+// LBO grid re-aggregated entirely from the content-addressed result cache.
+// The timed loop performs zero simulator invocations — it is the cost of a
+// resumed (or re-rendered) sweep, dominated by cache reads and aggregation.
+func BenchmarkEngineWarmCache(b *testing.B) {
+	dir := b.TempDir()
+	warm, err := OpenResultCache(dir, CacheReadWrite)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seed := NewEngine(EngineOptions{Cache: warm})
+	opt := benchSweep()
+	opt.Engine = seed
+	if _, _, err := MeasureLBO(workload.Fop, opt); err != nil {
+		b.Fatal(err)
+	}
+	seed.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache, err := OpenResultCache(dir, CacheReadWrite)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := NewEngine(EngineOptions{Cache: cache})
+		opt := benchSweep()
+		opt.Engine = eng
+		if _, _, err := MeasureLBO(workload.Fop, opt); err != nil {
+			b.Fatal(err)
+		}
+		if s := eng.Stats(); s.Executed != 0 {
+			b.Fatalf("warm re-run executed %d invocations, want 0", s.Executed)
+		}
+		eng.Close()
+	}
+}
+
 // BenchmarkSimulatorThroughput measures the substrate itself: simulated
 // events per second of host time for a typical configuration.
 func BenchmarkSimulatorThroughput(b *testing.B) {

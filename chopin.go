@@ -27,6 +27,7 @@ package chopin
 
 import (
 	"chopin/internal/cpuarch"
+	"chopin/internal/exper"
 	"chopin/internal/gc"
 	"chopin/internal/gclog"
 	"chopin/internal/harness"
@@ -99,7 +100,38 @@ type (
 	// Setup is a Mytkowicz-style experimental environment whose incidental
 	// layout biases measurements (Section 4.3's warning, made demonstrable).
 	Setup = workload.Setup
+	// Engine is the unified experiment engine: every invocation a
+	// content-addressed job on one shared work-stealing pool, with optional
+	// persistent result caching for incremental, resumable sweeps. Pass one
+	// via SweepOptions.Engine to share it across experiments.
+	Engine = exper.Engine
+	// EngineOptions configures an Engine (workers, cache, observer).
+	EngineOptions = exper.Options
+	// EngineStats is a snapshot of an engine's execution counters.
+	EngineStats = exper.Stats
+	// EngineEvent is one structured progress notification from an Engine.
+	EngineEvent = exper.Event
+	// ResultCache is the content-addressed invocation-level result store.
+	ResultCache = exper.Cache
+	// CacheMode selects how an engine uses its ResultCache.
+	CacheMode = exper.CacheMode
 )
+
+// Cache modes: CacheReadWrite resumes from cached results; CacheWriteOnly
+// forces a cold re-run while still recording fresh results.
+const (
+	CacheReadWrite = exper.ReadWrite
+	CacheWriteOnly = exper.WriteOnly
+)
+
+// NewEngine builds an experiment engine and starts its worker pool.
+func NewEngine(opt EngineOptions) *Engine { return exper.New(opt) }
+
+// OpenResultCache opens (creating if necessary) a result cache rooted at
+// dir, for EngineOptions.Cache.
+func OpenResultCache(dir string, mode CacheMode) (*ResultCache, error) {
+	return exper.OpenCache(dir, mode)
+}
 
 // RandomizedSetups draws n experimental environments — measuring across them
 // is the standard mitigation for layout bias.

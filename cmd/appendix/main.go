@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"chopin/internal/exper"
 	"chopin/internal/figures"
 	"chopin/internal/harness"
 	"chopin/internal/nominal"
@@ -33,26 +34,23 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "deterministic seed")
 		quick     = flag.Bool("quick", true, "skip size-variant min-heap searches")
 	)
+	var cli exper.CLI
+	cli.RegisterFlags(flag.CommandLine, "")
 	flag.Parse()
 	check(os.MkdirAll(*outDir, 0o755))
 
-	var ds []*workload.Descriptor
-	if *benchList == "" {
-		ds = workload.All()
-	} else {
-		for _, name := range strings.Split(*benchList, ",") {
-			d, err := workload.ByName(strings.TrimSpace(name))
-			check(err)
-			ds = append(ds, d)
-		}
-	}
+	eng, err := cli.Build(os.Stderr, "appendix: ")
+	check(err)
+
+	ds, err := exper.SelectBenchmarks(*benchList)
+	check(err)
 
 	// Suite-wide characterization first: ranks are relative to the suite.
 	var chars []*nominal.Characterization
 	for _, d := range ds {
 		fmt.Fprintf(os.Stderr, "appendix: characterizing %s\n", d.Name)
 		c, err := nominal.Characterize(d, nominal.Options{
-			Events: *events, Seed: *seed, SkipSizeVariants: *quick,
+			Events: *events, Seed: *seed, SkipSizeVariants: *quick, Run: eng.Run,
 		})
 		check(err)
 		chars = append(chars, c)
@@ -64,6 +62,7 @@ func main() {
 		Events:      *events,
 		Seed:        *seed,
 		HeapFactors: []float64{1, 1.5, 2, 3, 4, 6},
+		Engine:      eng,
 	}
 	for _, d := range ds {
 		fmt.Fprintf(os.Stderr, "appendix: building section for %s\n", d.Name)

@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 
+	"chopin/internal/exper"
 	"chopin/internal/figures"
 	"chopin/internal/gc"
 	"chopin/internal/gclog"
@@ -52,6 +53,8 @@ func main() {
 		heaptrace = flag.Bool("heaptrace", false, "print post-GC heap sizes over the timed iteration")
 		printLog  = flag.Bool("gclog", false, "print the run's GC log in OpenJDK unified-logging style")
 	)
+	var cli exper.CLI
+	cli.RegisterFlags(flag.CommandLine, "")
 	flag.Parse()
 
 	if *list {
@@ -93,11 +96,13 @@ func main() {
 		fail("%v", err)
 	}
 
-	opt := harness.Options{Events: *events, Seed: *seed}
+	eng, err := cli.Build(os.Stderr, "chopin: ")
+	check(err)
+	opt := harness.Options{Events: *events, Seed: *seed, Engine: eng}
 
 	if *printStat {
 		c, err := nominal.Characterize(d, nominal.Options{
-			Events: *events, Seed: *seed, SkipSizeVariants: true,
+			Events: *events, Seed: *seed, SkipSizeVariants: true, Run: eng.Run,
 		})
 		check(err)
 		table := nominal.BuildSuite([]*nominal.Characterization{c})
@@ -132,7 +137,7 @@ func main() {
 		Seed:                  *seed,
 		DisableCompressedOops: *noCoops,
 	}
-	res, err := workload.Run(d, cfg)
+	res, err := eng.Run(d, cfg)
 	check(err)
 
 	fmt.Printf("===== chopin %s: %s, %.0fMB heap, %d iterations =====\n",

@@ -17,11 +17,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strconv"
-	"strings"
 
+	"chopin/internal/exper"
 	"chopin/internal/figures"
-	"chopin/internal/gc"
 	"chopin/internal/harness"
 	"chopin/internal/workload"
 )
@@ -40,6 +38,8 @@ func main() {
 		headroom    = flag.Float64("headroom", 2.0, "open-loop arrival-interval stretch (2.0 = half the nominal rate)")
 		csvDir      = flag.String("csv", "", "directory for raw per-event latency CSVs (as the DaCapo -latency-csv option)")
 	)
+	var cli exper.CLI
+	cli.RegisterFlags(flag.CommandLine, "")
 	flag.Parse()
 
 	d, err := workload.ByName(*benchName)
@@ -48,26 +48,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "latency: note: %s is not one of the nine latency-sensitive workloads; timing events anyway\n", d.Name)
 	}
 
-	var factors []float64
-	for _, part := range strings.Split(*factorsFlag, ",") {
-		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-		if err != nil || f <= 0 {
-			check(fmt.Errorf("bad heap factor %q", part))
-		}
-		factors = append(factors, f)
-	}
+	eng, err := cli.Build(os.Stderr, "latency: ")
+	check(err)
+
+	factors, err := exper.ParseFactors(*factorsFlag)
+	check(err)
 	opt := harness.Options{
 		Events:     *events,
 		Iterations: *iterations,
 		Seed:       *seed,
+		Engine:     eng,
 	}
-	if *gcsFlag != "" {
-		for _, part := range strings.Split(*gcsFlag, ",") {
-			k, err := gc.ParseKind(strings.TrimSpace(part))
-			check(err)
-			opt.Collectors = append(opt.Collectors, k)
-		}
-	}
+	opt.Collectors, err = exper.ParseCollectors(*gcsFlag)
+	check(err)
 	if opt.Events == 0 {
 		// Latency distributions need tail resolution: use the workload's
 		// full default event count rather than the sweep-scaled quarter.

@@ -15,16 +15,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strconv"
-	"strings"
 
+	"chopin/internal/exper"
 	"chopin/internal/figures"
 	"chopin/internal/gc"
 	"chopin/internal/harness"
 	"chopin/internal/lbo"
 	"chopin/internal/persist"
 	"chopin/internal/report"
-	"chopin/internal/workload"
 )
 
 func main() {
@@ -40,21 +38,27 @@ func main() {
 		outDir      = flag.String("out", "", "directory for CSV output (optional)")
 		jsonOut     = flag.Bool("json", false, "also write JSON archives next to the CSVs")
 	)
+	var cli exper.CLI
+	cli.RegisterFlags(flag.CommandLine, "")
 	flag.Parse()
+
+	eng, err := cli.Build(os.Stderr, "lbo: ")
+	check(err)
+	defer func() { fmt.Fprintf(os.Stderr, "lbo: %s\n", exper.Summary(eng.Stats())) }()
 
 	opt := harness.Options{
 		Invocations: *invocations,
 		Iterations:  *iterations,
 		Events:      *events,
 		Seed:        *seed,
+		Engine:      eng,
 	}
-	var err error
-	opt.HeapFactors, err = parseFactors(*factorsFlag)
+	opt.HeapFactors, err = exper.ParseFactors(*factorsFlag)
 	check(err)
-	opt.Collectors, err = parseCollectors(*gcsFlag)
+	opt.Collectors, err = exper.ParseCollectors(*gcsFlag)
 	check(err)
 
-	ds, err := selectBenchmarks(*benchList)
+	ds, err := exper.SelectBenchmarks(*benchList)
 	check(err)
 
 	if *geomean {
@@ -102,51 +106,6 @@ func pick(n, def int) int {
 		return n
 	}
 	return def
-}
-
-func selectBenchmarks(list string) ([]*workload.Descriptor, error) {
-	if list == "" {
-		return workload.All(), nil
-	}
-	var ds []*workload.Descriptor
-	for _, name := range strings.Split(list, ",") {
-		d, err := workload.ByName(strings.TrimSpace(name))
-		if err != nil {
-			return nil, err
-		}
-		ds = append(ds, d)
-	}
-	return ds, nil
-}
-
-func parseFactors(s string) ([]float64, error) {
-	if s == "" {
-		return nil, nil
-	}
-	var out []float64
-	for _, part := range strings.Split(s, ",") {
-		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-		if err != nil || f <= 0 {
-			return nil, fmt.Errorf("bad heap factor %q", part)
-		}
-		out = append(out, f)
-	}
-	return out, nil
-}
-
-func parseCollectors(s string) ([]gc.Kind, error) {
-	if s == "" {
-		return nil, nil
-	}
-	var out []gc.Kind
-	for _, part := range strings.Split(s, ",") {
-		k, err := gc.ParseKind(strings.TrimSpace(part))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, k)
-	}
-	return out, nil
 }
 
 func collectorNames(opt harness.Options) []string {

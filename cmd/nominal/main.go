@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"chopin/internal/cpuarch"
+	"chopin/internal/exper"
 	"chopin/internal/figures"
 	"chopin/internal/nominal"
 	"chopin/internal/report"
@@ -34,7 +35,12 @@ func main() {
 		quick     = flag.Bool("quick", true, "skip size-variant min-heap searches")
 		seed      = flag.Uint64("seed", 42, "deterministic seed")
 	)
+	var cli exper.CLI
+	cli.RegisterFlags(flag.CommandLine, "")
 	flag.Parse()
+
+	eng, err := cli.Build(os.Stderr, "nominal: ")
+	check(err)
 
 	switch {
 	case *describe:
@@ -42,16 +48,16 @@ func main() {
 	case *arch:
 		printArchAnalysis()
 	case *calib:
-		printCalibration(*events, *seed)
+		printCalibration(eng, *events, *seed)
 	case *table2:
-		table := characterizeAll(*events, *quick, *seed)
+		table := characterizeAll(eng, *events, *quick, *seed)
 		fmt.Println("Table 2: the twelve most determinant nominal statistics (rank: value)")
 		fmt.Print(figures.Table2(table))
 	case *benchName != "":
 		d, err := workload.ByName(*benchName)
 		check(err)
 		fmt.Fprintf(os.Stderr, "nominal: characterizing the suite for suite-relative ranks\n")
-		table := characterizeAll(*events, *quick, *seed)
+		table := characterizeAll(eng, *events, *quick, *seed)
 		out, err := figures.BenchmarkTable(table, d.Name)
 		check(err)
 		fmt.Printf("%s: %s\n\n%s", d.Name, d.Description, out)
@@ -61,12 +67,12 @@ func main() {
 	}
 }
 
-func characterizeAll(events int, quick bool, seed uint64) *nominal.SuiteTable {
+func characterizeAll(eng *exper.Engine, events int, quick bool, seed uint64) *nominal.SuiteTable {
 	var chars []*nominal.Characterization
 	for _, d := range workload.All() {
 		fmt.Fprintf(os.Stderr, "nominal: characterizing %s\n", d.Name)
 		c, err := nominal.Characterize(d, nominal.Options{
-			Events: events, Seed: seed, SkipSizeVariants: quick,
+			Events: events, Seed: seed, SkipSizeVariants: quick, Run: eng.Run,
 		})
 		check(err)
 		chars = append(chars, c)
@@ -76,13 +82,13 @@ func characterizeAll(events int, quick bool, seed uint64) *nominal.SuiteTable {
 
 // printCalibration compares each workload's measured headline statistics
 // with the published values its model was calibrated to.
-func printCalibration(events int, seed uint64) {
+func printCalibration(eng *exper.Engine, events int, seed uint64) {
 	t := report.NewTable("benchmark",
 		"GMD meas", "GMD pub", "ARA meas", "ARA pub", "PET meas", "PET pub", "GSS meas")
 	for _, d := range workload.All() {
 		fmt.Fprintf(os.Stderr, "nominal: measuring %s\n", d.Name)
 		c, err := nominal.Characterize(d, nominal.Options{
-			Events: events, Seed: seed, SkipSizeVariants: true, Invocations: 2,
+			Events: events, Seed: seed, SkipSizeVariants: true, Invocations: 2, Run: eng.Run,
 		})
 		check(err)
 		t.AddRowf(d.Name,

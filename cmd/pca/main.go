@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"chopin/internal/exper"
 	"chopin/internal/figures"
 	"chopin/internal/nominal"
 	"chopin/internal/report"
@@ -28,9 +29,14 @@ func main() {
 		loadings = flag.Bool("loadings", false, "print the most determinant metrics (Table 2 selection)")
 		seed     = flag.Uint64("seed", 42, "deterministic seed")
 	)
+	var cli exper.CLI
+	cli.RegisterFlags(flag.CommandLine, "")
 	flag.Parse()
 
-	opt := nominal.Options{Events: *events, Seed: *seed, SkipSizeVariants: *quick}
+	eng, err := cli.Build(os.Stderr, "pca: ")
+	check(err)
+
+	opt := nominal.Options{Events: *events, Seed: *seed, SkipSizeVariants: *quick, Run: eng.Run}
 	var chars []*nominal.Characterization
 	for _, d := range workload.All() {
 		fmt.Fprintf(os.Stderr, "pca: characterizing %s\n", d.Name)

@@ -7,6 +7,12 @@
 //
 //	runbms -plan experiments/lbo.json -out results/
 //	runbms -plan experiments/kick-the-tires.json -out results/
+//	runbms -plan experiments/lbo.json -out results/ -progress   # per-job events
+//	runbms -plan experiments/lbo.json -out results/ -cold       # ignore cached results
+//
+// Completed invocations persist in a content-addressed cache (default
+// <out>/cache), so re-running a plan — after an interrupt, a crash, or an
+// edit that adds experiments — re-executes only what is missing.
 //
 // A plan looks like:
 //
@@ -31,6 +37,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"chopin/internal/exper"
 	"chopin/internal/figures"
 	"chopin/internal/gc"
 	"chopin/internal/harness"
@@ -61,6 +68,8 @@ func main() {
 		planPath = flag.String("plan", "", "experiment plan (JSON)")
 		outDir   = flag.String("out", "results", "output directory")
 	)
+	var cli exper.CLI
+	cli.RegisterFlags(flag.CommandLine, "")
 	flag.Parse()
 	if *planPath == "" {
 		fail("missing -plan")
@@ -71,14 +80,27 @@ func main() {
 	check(json.Unmarshal(raw, &plan))
 	check(os.MkdirAll(*outDir, 0o755))
 
+	// Results cache under the output directory by default, so a re-run of
+	// the same plan — after a crash, an interrupt, or a plan edit — skips
+	// everything already computed.
+	if cli.CacheDir == "" {
+		cli.CacheDir = filepath.Join(*outDir, "cache")
+	}
+	eng, err := cli.Build(os.Stderr, "runbms: ")
+	check(err)
+
+	// One engine for the whole plan: a single work-stealing pool bounds
+	// parallelism across experiments, and min-heap measurements shared by
+	// several experiments run once.
 	for _, exp := range plan.Experiments {
 		fmt.Fprintf(os.Stderr, "runbms: experiment %q (%s)\n", exp.Name, exp.Type)
-		check(run(exp, *outDir))
+		check(run(eng, exp, *outDir))
 	}
+	fmt.Fprintf(os.Stderr, "runbms: %s\n", exper.Summary(eng.Stats()))
 	fmt.Fprintf(os.Stderr, "runbms: results in %s\n", *outDir)
 }
 
-func run(exp Experiment, outDir string) error {
+func run(eng *exper.Engine, exp Experiment, outDir string) error {
 	ds, err := benchmarks(exp.Benchmarks)
 	if err != nil {
 		return err
@@ -89,6 +111,7 @@ func run(exp Experiment, outDir string) error {
 		Iterations:  exp.Iterations,
 		Events:      exp.Events,
 		Seed:        exp.Seed,
+		Engine:      eng,
 	}
 	for _, name := range exp.Collectors {
 		k, err := gc.ParseKind(name)
@@ -158,7 +181,7 @@ func run(exp Experiment, outDir string) error {
 		for _, d := range ds {
 			fmt.Fprintf(os.Stderr, "runbms: characterizing %s\n", d.Name)
 			c, err := nominal.Characterize(d, nominal.Options{
-				Events: exp.Events, Seed: exp.Seed, SkipSizeVariants: true,
+				Events: exp.Events, Seed: exp.Seed, SkipSizeVariants: true, Run: eng.Run,
 			})
 			if err != nil {
 				return err

@@ -1,0 +1,83 @@
+package exper
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"chopin/internal/persist"
+)
+
+// CacheMode selects how the engine uses its persistent cache.
+type CacheMode int
+
+const (
+	// ReadWrite is the normal resumable mode: completed jobs are skipped
+	// via cache hits, new results are written back.
+	ReadWrite CacheMode = iota
+	// WriteOnly forces a cold re-run: every job executes, and the fresh
+	// results overwrite the cached ones for the next warm run.
+	WriteOnly
+)
+
+// Cache is the content-addressed, invocation-level result store: one
+// persist archive per job key, sharded two-hex-characters deep
+// (dir/ab/abcdef….json) so large plans do not pile thousands of files into
+// one directory. Writes are atomic (write-then-rename in persist), so a
+// killed run leaves only complete archives behind — which is what makes
+// plans resumable.
+type Cache struct {
+	dir  string
+	mode CacheMode
+}
+
+// OpenCache opens (creating if necessary) a result cache rooted at dir.
+func OpenCache(dir string, mode CacheMode) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("exper: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("exper: opening cache: %w", err)
+	}
+	return &Cache{dir: dir, mode: mode}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+func (c *Cache) path(k Key) string {
+	return filepath.Join(c.dir, k.Shard(), string(k)+".json")
+}
+
+// getInvocation loads the cached record for the key, if present and valid.
+// Unreadable or stale archives are treated as misses, never as failures:
+// the job simply re-runs and overwrites them.
+func (c *Cache) getInvocation(k Key) (*persist.InvocationRecord, bool) {
+	if c.mode == WriteOnly {
+		return nil, false
+	}
+	rec, err := persist.LoadInvocation(c.path(k))
+	if err != nil || rec.Key != string(k) {
+		return nil, false
+	}
+	return rec, true
+}
+
+func (c *Cache) putInvocation(k Key, rec *persist.InvocationRecord) error {
+	return persist.SaveInvocation(c.path(k), rec)
+}
+
+func (c *Cache) getMinHeap(k Key) (*persist.MinHeapRecord, bool) {
+	if c.mode == WriteOnly {
+		return nil, false
+	}
+	rec, err := persist.LoadMinHeap(c.path(k))
+	if err != nil || rec.Key != string(k) {
+		return nil, false
+	}
+	return rec, true
+}
+
+func (c *Cache) putMinHeap(k Key, rec *persist.MinHeapRecord) error {
+	return persist.SaveMinHeap(c.path(k), rec)
+}

@@ -1,0 +1,110 @@
+package exper
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"chopin/internal/gc"
+	"chopin/internal/workload"
+)
+
+// CLI bundles the engine flags every experiment command shares: cache
+// location, forced cold re-runs, worker count and progress reporting.
+// Register the flags on the command's FlagSet, then Build an engine after
+// parsing.
+type CLI struct {
+	CacheDir string
+	Cold     bool
+	Progress bool
+	Workers  int
+}
+
+// RegisterFlags installs the shared engine flags. cacheDefault seeds -cache
+// (empty disables caching unless the user opts in).
+func (c *CLI) RegisterFlags(fs *flag.FlagSet, cacheDefault string) {
+	fs.StringVar(&c.CacheDir, "cache", cacheDefault, "result cache directory ('none' or empty disables caching)")
+	fs.BoolVar(&c.Cold, "cold", false, "ignore cached results and re-run every invocation (fresh results still cached)")
+	fs.BoolVar(&c.Progress, "progress", false, "print per-invocation progress events")
+	fs.IntVar(&c.Workers, "workers", 0, "concurrent invocations (0 = NumCPU)")
+}
+
+// Build opens the cache (if configured) and starts an engine. Progress
+// events go to w, prefixed like "runbms: ".
+func (c *CLI) Build(w io.Writer, prefix string) (*Engine, error) {
+	opt := Options{Workers: c.Workers}
+	if c.CacheDir != "" && c.CacheDir != "none" {
+		mode := ReadWrite
+		if c.Cold {
+			mode = WriteOnly
+		}
+		cache, err := OpenCache(c.CacheDir, mode)
+		if err != nil {
+			return nil, err
+		}
+		opt.Cache = cache
+	}
+	if c.Progress {
+		opt.Observer = Progress(w, prefix)
+	}
+	return New(opt), nil
+}
+
+// Summary formats the engine's counters as a one-line run report.
+func Summary(s Stats) string {
+	return fmt.Sprintf("%d invocations run, %d from cache (%d OOM, %d failed)",
+		s.Executed, s.CacheHits, s.OOMs, s.Failures)
+}
+
+// SelectBenchmarks resolves a comma-separated benchmark list, defaulting to
+// the whole suite when empty.
+func SelectBenchmarks(list string) ([]*workload.Descriptor, error) {
+	if list == "" {
+		return workload.All(), nil
+	}
+	var ds []*workload.Descriptor
+	for _, name := range strings.Split(list, ",") {
+		d, err := workload.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		ds = append(ds, d)
+	}
+	return ds, nil
+}
+
+// ParseFactors parses a comma-separated list of positive heap factors; an
+// empty string means "use the defaults" (nil).
+func ParseFactors(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || f <= 0 {
+			return nil, fmt.Errorf("bad heap factor %q", part)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// ParseCollectors parses a comma-separated list of collector names; an
+// empty string means "use the defaults" (nil).
+func ParseCollectors(s string) ([]gc.Kind, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []gc.Kind
+	for _, part := range strings.Split(s, ",") {
+		k, err := gc.ParseKind(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}

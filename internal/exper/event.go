@@ -1,0 +1,104 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// EventKind classifies a progress event.
+type EventKind int
+
+// Progress events, in a job's lifecycle order.
+const (
+	// JobQueued fires when a job enters the worker pool.
+	JobQueued EventKind = iota
+	// JobStarted fires when a worker picks the job up.
+	JobStarted
+	// JobFinished fires when a job's invocation completes, with its wall
+	// and task-clock telemetry.
+	JobFinished
+	// JobCacheHit fires when a job is satisfied from the result cache
+	// without touching the simulator.
+	JobCacheHit
+	// JobFailed fires when a job's invocation errors (OOM included).
+	JobFailed
+	// MinHeapStarted and MinHeapFinished bracket a minimum-heap
+	// measurement; MinHeapCacheHit replaces both on a cache hit.
+	MinHeapStarted
+	MinHeapFinished
+	MinHeapCacheHit
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case JobQueued:
+		return "queued"
+	case JobStarted:
+		return "started"
+	case JobFinished:
+		return "finished"
+	case JobCacheHit:
+		return "cache-hit"
+	case JobFailed:
+		return "failed"
+	case MinHeapStarted:
+		return "minheap-started"
+	case MinHeapFinished:
+		return "minheap"
+	case MinHeapCacheHit:
+		return "minheap-cache-hit"
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one structured progress notification — the observability seam
+// consumed by runbms -progress and available to any embedding system.
+type Event struct {
+	Kind      EventKind
+	Key       Key
+	Benchmark string
+	Collector string
+	HeapMB    float64
+	Seed      uint64
+	// WallNS and CPUNS are the invocation's whole-run wall and task-clock
+	// totals (JobFinished only).
+	WallNS float64
+	CPUNS  float64
+	// MinHeapMB carries the measured bound on MinHeapFinished/CacheHit.
+	MinHeapMB float64
+	// Err is the failure message on JobFailed.
+	Err string
+}
+
+// Progress returns an observer that renders events as one-line progress
+// updates on w, prefixed like "runbms: ". Queued and started events are
+// suppressed — at plan scale they are noise — and a running tally of
+// executed versus cache-hit jobs contextualizes each line.
+func Progress(w io.Writer, prefix string) func(Event) {
+	var mu sync.Mutex
+	var done, hits int
+	return func(e Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch e.Kind {
+		case JobFinished:
+			done++
+			fmt.Fprintf(w, "%s[%d run, %d cached] %s %s %.0fMB seed=%d wall=%.2fs cpu=%.2fs\n",
+				prefix, done, hits, e.Benchmark, e.Collector, e.HeapMB, e.Seed,
+				e.WallNS/1e9, e.CPUNS/1e9)
+		case JobCacheHit:
+			hits++
+			fmt.Fprintf(w, "%s[%d run, %d cached] %s %s %.0fMB seed=%d (cache)\n",
+				prefix, done, hits, e.Benchmark, e.Collector, e.HeapMB, e.Seed)
+		case JobFailed:
+			done++
+			fmt.Fprintf(w, "%s[%d run, %d cached] %s %s %.0fMB seed=%d FAILED: %s\n",
+				prefix, done, hits, e.Benchmark, e.Collector, e.HeapMB, e.Seed, e.Err)
+		case MinHeapFinished:
+			fmt.Fprintf(w, "%s%s minimum heap: %.1fMB\n", prefix, e.Benchmark, e.MinHeapMB)
+		case MinHeapCacheHit:
+			fmt.Fprintf(w, "%s%s minimum heap: %.1fMB (cache)\n", prefix, e.Benchmark, e.MinHeapMB)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+// Package exper is the unified experiment engine: every simulator
+// invocation — sweep cell, latency run, min-heap probe — becomes a
+// first-class Job, canonically hashed over its (descriptor, RunConfig)
+// content and executed by a single work-stealing worker pool shared across
+// an entire experiment plan.
+//
+// Three layers make plans incremental and resumable:
+//
+//   - deduplication: concurrent submissions of an identical job coalesce
+//     onto one execution (min-heap probes shared by several sweeps run
+//     once, as an upstream job in the plan's job graph);
+//   - memoization: an optional in-process memo returns completed outcomes
+//     without re-execution;
+//   - the content-addressed result cache (Cache, layered on
+//     internal/persist schema v2): completed invocations survive process
+//     death, so a killed or re-invoked plan skips straight to its first
+//     unfinished job, and figures re-render offline from cached results.
+//
+// The engine emits structured progress events (queued, started, finished,
+// cache-hit, with wall and task-clock telemetry) through an observer — the
+// observability seam consumed by runbms -progress.
+package exper
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"chopin/internal/persist"
+	"chopin/internal/workload"
+)
+
+// Options configures an engine.
+type Options struct {
+	// Workers sizes the shared worker pool (default: NumCPU). This bounds
+	// concurrent simulator invocations for the whole plan, however many
+	// sweeps submit jobs at once.
+	Workers int
+	// Cache is the persistent result store; nil disables persistence
+	// (in-flight deduplication still applies).
+	Cache *Cache
+	// Memoize keeps completed outcomes in memory, so repeated identical
+	// jobs within one process return instantly even without a Cache. Off
+	// by default: a full-suite sweep holds gigabytes of event logs.
+	Memoize bool
+	// Observer receives progress events; it must be safe for concurrent
+	// use (Progress is). nil disables events.
+	Observer func(Event)
+}
+
+// Engine executes jobs. One engine should be shared across everything a
+// process runs — commands build one and pass it down via harness.Options.
+type Engine struct {
+	pool    *pool
+	cache   *Cache
+	memoize bool
+	obs     func(Event)
+
+	mu        sync.Mutex
+	inflight  map[Key]*call
+	memo      map[Key]outcome
+	minMemo   map[Key]float64
+	minflight map[Key]*minCall
+
+	executed         int64
+	cacheHits        int64
+	memoHits         int64
+	deduped          int64
+	ooms             int64
+	failures         int64
+	minHeapSearches  int64
+	minHeapCacheHits int64
+}
+
+// Stats is a snapshot of the engine's counters.
+type Stats struct {
+	// Executed counts simulator invocations actually run — the number the
+	// cache exists to drive to zero on a warm re-run.
+	Executed int64
+	// CacheHits counts jobs satisfied from the persistent cache; MemoHits
+	// from the in-process memo; Deduped jobs coalesced onto an identical
+	// in-flight execution.
+	CacheHits int64
+	MemoHits  int64
+	Deduped   int64
+	// OOMs counts invocations that ran out of memory (a cacheable,
+	// expected outcome at tight heaps); Failures counts other errors.
+	OOMs     int64
+	Failures int64
+	// MinHeapSearches counts full minimum-heap measurements performed;
+	// MinHeapCacheHits counts measurements satisfied from the cache.
+	MinHeapSearches  int64
+	MinHeapCacheHits int64
+}
+
+type outcome struct {
+	res *workload.Result
+	err error
+}
+
+type call struct {
+	done chan struct{}
+	out  outcome
+}
+
+type minCall struct {
+	done chan struct{}
+	mb   float64
+	err  error
+}
+
+// New builds an engine and starts its worker pool.
+func New(opt Options) *Engine {
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.NumCPU()
+	}
+	return &Engine{
+		pool:      newPool(opt.Workers),
+		cache:     opt.Cache,
+		memoize:   opt.Memoize,
+		obs:       opt.Observer,
+		inflight:  map[Key]*call{},
+		memo:      map[Key]outcome{},
+		minMemo:   map[Key]float64{},
+		minflight: map[Key]*minCall{},
+	}
+}
+
+// Close stops the worker pool once submitted jobs drain. Using the engine
+// afterwards panics; long-lived engines need never close.
+func (e *Engine) Close() { e.pool.close() }
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Executed:         atomic.LoadInt64(&e.executed),
+		CacheHits:        atomic.LoadInt64(&e.cacheHits),
+		MemoHits:         atomic.LoadInt64(&e.memoHits),
+		Deduped:          atomic.LoadInt64(&e.deduped),
+		OOMs:             atomic.LoadInt64(&e.ooms),
+		Failures:         atomic.LoadInt64(&e.failures),
+		MinHeapSearches:  atomic.LoadInt64(&e.minHeapSearches),
+		MinHeapCacheHits: atomic.LoadInt64(&e.minHeapCacheHits),
+	}
+}
+
+func (e *Engine) emit(ev Event) {
+	if e.obs != nil {
+		e.obs(ev)
+	}
+}
+
+func jobEvent(kind EventKind, j Job) Event {
+	return Event{
+		Kind:      kind,
+		Key:       j.Key(),
+		Benchmark: j.Desc.Name,
+		Collector: j.Cfg.Collector.String(),
+		HeapMB:    j.Cfg.HeapMB,
+		Seed:      j.Cfg.Seed,
+	}
+}
+
+// Run executes one invocation of the benchmark under cfg as an engine job:
+// deduplicated against identical in-flight jobs, satisfied from the result
+// cache when warm, otherwise executed on the shared worker pool and cached.
+// It blocks until the outcome is available; submit concurrent goroutines to
+// exploit the pool.
+func (e *Engine) Run(d *workload.Descriptor, cfg workload.RunConfig) (*workload.Result, error) {
+	job, err := NewJob(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	k := job.Key()
+
+	e.mu.Lock()
+	if out, ok := e.memo[k]; ok {
+		e.mu.Unlock()
+		atomic.AddInt64(&e.memoHits, 1)
+		return out.res, out.err
+	}
+	if c, ok := e.inflight[k]; ok {
+		e.mu.Unlock()
+		atomic.AddInt64(&e.deduped, 1)
+		<-c.done
+		return c.out.res, c.out.err
+	}
+	c := &call{done: make(chan struct{})}
+	e.inflight[k] = c
+	e.mu.Unlock()
+
+	out := e.execute(job)
+
+	e.mu.Lock()
+	delete(e.inflight, k)
+	if e.memoize && cacheable(out) {
+		e.memo[k] = out
+	}
+	e.mu.Unlock()
+	c.out = out
+	close(c.done)
+	return out.res, out.err
+}
+
+// cacheable reports whether the outcome is a stable property of the job
+// (success or OOM) rather than a transient failure.
+func cacheable(out outcome) bool {
+	if out.err == nil {
+		return true
+	}
+	var oom *workload.ErrOutOfMemory
+	return errors.As(out.err, &oom)
+}
+
+// execute satisfies a job from the cache or runs it on the pool.
+func (e *Engine) execute(job Job) outcome {
+	k := job.Key()
+	if e.cache != nil {
+		if rec, ok := e.cache.getInvocation(k); ok {
+			atomic.AddInt64(&e.cacheHits, 1)
+			e.emit(jobEvent(JobCacheHit, job))
+			if rec.OOM {
+				return outcome{nil, &workload.ErrOutOfMemory{
+					Workload: job.Desc.Name, HeapMB: job.Cfg.HeapMB, Kind: job.Cfg.Collector,
+				}}
+			}
+			return outcome{rec.Result, nil}
+		}
+	}
+
+	e.emit(jobEvent(JobQueued, job))
+	done := make(chan outcome, 1)
+	e.pool.submit(func() {
+		e.emit(jobEvent(JobStarted, job))
+		res, err := workload.Run(job.Desc, job.Cfg)
+		atomic.AddInt64(&e.executed, 1)
+		done <- outcome{res, err}
+	})
+	out := <-done
+
+	if out.err != nil {
+		var oom *workload.ErrOutOfMemory
+		if errors.As(out.err, &oom) {
+			atomic.AddInt64(&e.ooms, 1)
+			if e.cache != nil {
+				if werr := e.cache.putInvocation(k, e.record(job, nil, true)); werr != nil {
+					return outcome{nil, fmt.Errorf("exper: caching %s OOM: %w", job.Desc.Name, werr)}
+				}
+			}
+		} else {
+			atomic.AddInt64(&e.failures, 1)
+		}
+		ev := jobEvent(JobFailed, job)
+		ev.Err = out.err.Error()
+		e.emit(ev)
+		return out
+	}
+
+	if e.cache != nil {
+		if werr := e.cache.putInvocation(k, e.record(job, out.res, false)); werr != nil {
+			return outcome{nil, fmt.Errorf("exper: caching %s result: %w", job.Desc.Name, werr)}
+		}
+	}
+	ev := jobEvent(JobFinished, job)
+	for _, it := range out.res.Iterations {
+		ev.WallNS += it.WallNS
+		ev.CPUNS += it.CPUNS
+	}
+	e.emit(ev)
+	return out
+}
+
+func (e *Engine) record(job Job, res *workload.Result, oom bool) *persist.InvocationRecord {
+	return &persist.InvocationRecord{
+		Key:       string(job.Key()),
+		Workload:  job.Desc.Name,
+		Collector: job.Cfg.Collector.String(),
+		HeapMB:    job.Cfg.HeapMB,
+		Seed:      job.Cfg.Seed,
+		OOM:       oom,
+		Result:    res,
+	}
+}

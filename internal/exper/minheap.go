@@ -1,0 +1,153 @@
+package exper
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"chopin/internal/gc"
+	"chopin/internal/nominal"
+	"chopin/internal/persist"
+	"chopin/internal/workload"
+)
+
+// minHeapGrowthAttempts bounds how many times a candidate minimum heap is
+// grown by minHeapGrowthFactor while validating it against every invocation
+// seed a sweep will use.
+const (
+	minHeapGrowthAttempts = 20
+	minHeapGrowthFactor   = 1.03
+)
+
+// MinHeapMB measures the benchmark's minimum viable heap under p: a
+// bisection search (every probe an engine job, so probes dedup and cache
+// like any other invocation), then validation of the bound against every
+// invocation seed the sweep will use, growing it 3% per failed attempt.
+// Measurements are content-addressed like jobs, memoized in-process, and
+// persisted in the cache — sweeps that share a benchmark share one
+// measurement, as an upstream job in the plan's graph.
+//
+// Unlike the pre-engine harness, a bound that still fails validation after
+// 20 growth attempts is an error — not a silently returned heap size whose
+// 1x row then OOMs its way through the whole sweep.
+func (e *Engine) MinHeapMB(d *workload.Descriptor, p MinHeapParams) (float64, error) {
+	if p.Invocations < 1 {
+		p.Invocations = 1
+	}
+	if p.Iterations < 1 {
+		p.Iterations = 1
+	}
+	k, err := minHeapKey(d, p)
+	if err != nil {
+		return 0, err
+	}
+
+	e.mu.Lock()
+	if mb, ok := e.minMemo[k]; ok {
+		e.mu.Unlock()
+		return mb, nil
+	}
+	if c, ok := e.minflight[k]; ok {
+		e.mu.Unlock()
+		<-c.done
+		return c.mb, c.err
+	}
+	c := &minCall{done: make(chan struct{})}
+	e.minflight[k] = c
+	e.mu.Unlock()
+
+	mb, err := e.minHeap(k, d, p)
+
+	e.mu.Lock()
+	delete(e.minflight, k)
+	if err == nil {
+		e.minMemo[k] = mb
+	}
+	e.mu.Unlock()
+	c.mb, c.err = mb, err
+	close(c.done)
+	return mb, err
+}
+
+func minHeapEvent(kind EventKind, d *workload.Descriptor, k Key, mb float64) Event {
+	return Event{Kind: kind, Key: k, Benchmark: d.Name, MinHeapMB: mb}
+}
+
+func (e *Engine) minHeap(k Key, d *workload.Descriptor, p MinHeapParams) (float64, error) {
+	if e.cache != nil {
+		if rec, ok := e.cache.getMinHeap(k); ok {
+			atomic.AddInt64(&e.minHeapCacheHits, 1)
+			e.emit(minHeapEvent(MinHeapCacheHit, d, k, rec.MinHeapMB))
+			return rec.MinHeapMB, nil
+		}
+	}
+
+	e.emit(minHeapEvent(MinHeapStarted, d, k, 0))
+	atomic.AddInt64(&e.minHeapSearches, 1)
+
+	base := workload.RunConfig{
+		Collector:  gc.G1,
+		Iterations: 1,
+		Events:     p.Events,
+		Seed:       p.Seed,
+	}
+	min, err := nominal.MinHeapWith(e.Run, d, base, 1)
+	if err != nil {
+		return 0, fmt.Errorf("measuring min heap for %s: %w", d.Name, err)
+	}
+	min, err = validateMinHeap(e.Run, d, base, min, p)
+	if err != nil {
+		return 0, err
+	}
+
+	if e.cache != nil {
+		rec := &persist.MinHeapRecord{Key: string(k), Workload: d.Name, MinHeapMB: min}
+		if werr := e.cache.putMinHeap(k, rec); werr != nil {
+			return 0, fmt.Errorf("exper: caching %s min heap: %w", d.Name, werr)
+		}
+	}
+	e.emit(minHeapEvent(MinHeapFinished, d, k, min))
+	return min, nil
+}
+
+// validateMinHeap confirms the searched bound completes under every
+// invocation seed the sweep will use, growing it by 3% per failed attempt.
+// An OOM under any seed fails the attempt; any other error aborts the
+// measurement. A bound that never validates is an error.
+func validateMinHeap(run nominal.RunFunc, d *workload.Descriptor, base workload.RunConfig, min float64, p MinHeapParams) (float64, error) {
+	for attempt := 0; attempt < minHeapGrowthAttempts; attempt++ {
+		errs := make([]error, p.Invocations)
+		var wg sync.WaitGroup
+		for i := 0; i < p.Invocations; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				cfg := base
+				cfg.HeapMB = min
+				cfg.Iterations = p.Iterations
+				cfg.Seed = p.Seed + uint64(i)*1_000_003 + 17
+				_, errs[i] = run(d, cfg)
+			}(i)
+		}
+		wg.Wait()
+
+		ok := true
+		for _, err := range errs {
+			if err == nil {
+				continue
+			}
+			var oom *workload.ErrOutOfMemory
+			if !errors.As(err, &oom) {
+				return 0, fmt.Errorf("validating min heap for %s: %w", d.Name, err)
+			}
+			ok = false
+		}
+		if ok {
+			return min, nil
+		}
+		min *= minHeapGrowthFactor
+	}
+	return 0, fmt.Errorf("exper: %s: minimum heap failed validation after %d growth attempts (reached %.1fMB)",
+		d.Name, minHeapGrowthAttempts, min)
+}

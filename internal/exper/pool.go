@@ -1,0 +1,96 @@
+package exper
+
+import "sync"
+
+// pool is the engine's work-stealing worker pool: each worker owns a deque,
+// submissions are distributed round-robin, a worker pops its own deque LIFO
+// (freshly submitted jobs have warm sweeps behind them) and steals FIFO
+// from the most loaded peer when its own deque drains. One pool is shared
+// across an entire experiment plan, so parallelism is bounded per-plan
+// rather than per-sweep: a sweep with one straggling cell no longer idles
+// the cores that its finished cells were using.
+type pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	deques [][]func()
+	next   int // round-robin submission cursor
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func newPool(workers int) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &pool{deques: make([][]func(), workers)}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker(i)
+	}
+	return p
+}
+
+// submit enqueues one task; it never blocks.
+func (p *pool) submit(task func()) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("exper: submit on closed pool")
+	}
+	w := p.next % len(p.deques)
+	p.next++
+	p.deques[w] = append(p.deques[w], task)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// take pops from the worker's own deque back, or steals from the front of
+// the longest peer deque. Returns nil when the pool is closed and drained.
+func (p *pool) take(self int) func() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if own := p.deques[self]; len(own) > 0 {
+			t := own[len(own)-1]
+			p.deques[self] = own[:len(own)-1]
+			return t
+		}
+		victim, best := -1, 0
+		for i, dq := range p.deques {
+			if i != self && len(dq) > best {
+				victim, best = i, len(dq)
+			}
+		}
+		if victim >= 0 {
+			t := p.deques[victim][0]
+			p.deques[victim] = p.deques[victim][1:]
+			return t
+		}
+		if p.closed {
+			return nil
+		}
+		p.cond.Wait()
+	}
+}
+
+func (p *pool) worker(self int) {
+	defer p.wg.Done()
+	for {
+		t := p.take(self)
+		if t == nil {
+			return
+		}
+		t()
+	}
+}
+
+// close stops the workers once the deques drain. Tasks already submitted
+// still run; submitting afterwards panics.
+func (p *pool) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}

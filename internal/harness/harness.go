@@ -7,6 +7,13 @@
 // sizes are always expressed as multiples of a measured per-benchmark
 // minimum (H2), several invocations feed 95% confidence intervals (P1), and
 // overheads are reported via LBO on both wall and task clock (O1/O2).
+//
+// Execution is delegated to the experiment engine (internal/exper): every
+// invocation becomes an engine job on one shared work-stealing pool, so
+// parallelism is bounded per-plan rather than per-sweep, min-heap probes
+// deduplicate across experiments, and — when the engine carries a result
+// cache — sweeps become incremental and resumable. The harness itself is a
+// thin aggregation layer over engine results.
 package harness
 
 import (
@@ -14,10 +21,10 @@ import (
 	"runtime"
 	"sync"
 
+	"chopin/internal/exper"
 	"chopin/internal/gc"
 	"chopin/internal/latency"
 	"chopin/internal/lbo"
-	"chopin/internal/nominal"
 	"chopin/internal/stats"
 	"chopin/internal/trace"
 	"chopin/internal/workload"
@@ -41,8 +48,13 @@ type Options struct {
 	Events int
 	// Seed perturbs all invocations deterministically.
 	Seed uint64
-	// Parallelism bounds concurrent invocations (default NumCPU).
+	// Parallelism bounds concurrent invocations (default NumCPU). Ignored
+	// when Engine is set — the engine's own pool bounds the plan.
 	Parallelism int
+	// Engine executes the sweep's jobs. nil uses a shared default engine
+	// (no cache, Parallelism workers); commands that want caching, progress
+	// events or resumability pass their own.
+	Engine *exper.Engine
 }
 
 // DefaultHeapFactors mirrors the paper's sweep: dense at small heaps.
@@ -73,41 +85,48 @@ func (o Options) withDefaults(d *workload.Descriptor) Options {
 	return o
 }
 
+// Default engines are created once per worker count and shared for the
+// process lifetime; idle workers park on a condition variable, so they are
+// never closed.
+var (
+	defaultEnginesMu sync.Mutex
+	defaultEngines   = map[int]*exper.Engine{}
+)
+
+// engine returns the engine the sweep runs on. Call after withDefaults.
+func (o Options) engine() *exper.Engine {
+	if o.Engine != nil {
+		return o.Engine
+	}
+	defaultEnginesMu.Lock()
+	defer defaultEnginesMu.Unlock()
+	e, ok := defaultEngines[o.Parallelism]
+	if !ok {
+		e = exper.New(exper.Options{Workers: o.Parallelism})
+		defaultEngines[o.Parallelism] = e
+	}
+	return e
+}
+
+// minHeapParams derives the engine min-heap request that anchors this
+// sweep: the bound must validate under exactly the seeds the sweep uses.
+func (o Options) minHeapParams() exper.MinHeapParams {
+	return exper.MinHeapParams{
+		Events:      o.Events,
+		Iterations:  o.Iterations,
+		Invocations: o.Invocations,
+		Seed:        o.Seed,
+	}
+}
+
 // MinHeapMB measures the benchmark's minimum heap under the baseline G1
 // configuration (the paper's GMD definition), which anchors all heap-factor
-// sweeps. The bound is then validated against every invocation seed the
-// sweep will use, growing by 3% steps until all of them complete, so the 1x
-// row of a sweep is actually runnable rather than OOMing on seed jitter.
+// sweeps. The bound is validated against every invocation seed the sweep
+// will use, growing by 3% steps until all of them complete; a bound that
+// never validates is an error, so a sweep's 1x row is always runnable.
 func MinHeapMB(d *workload.Descriptor, opt Options) (float64, error) {
 	opt = opt.withDefaults(d)
-	base := workload.RunConfig{
-		Collector:  gc.G1,
-		Iterations: 1,
-		Events:     opt.Events,
-		Seed:       opt.Seed,
-	}
-	min, err := nominal.MinHeap(d, base, 1)
-	if err != nil {
-		return 0, err
-	}
-	for attempt := 0; attempt < 20; attempt++ {
-		ok := true
-		for i := 0; i < opt.Invocations; i++ {
-			cfg := base
-			cfg.HeapMB = min
-			cfg.Seed = opt.Seed + uint64(i)*1_000_003 + 17
-			cfg.Iterations = opt.Iterations
-			if _, err := workload.Run(d, cfg); err != nil {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			return min, nil
-		}
-		min *= 1.03
-	}
-	return min, nil
+	return opt.engine().MinHeapMB(d, opt.minHeapParams())
 }
 
 // invocationSet is the aggregate of several invocations of one
@@ -121,25 +140,22 @@ type invocationSet struct {
 	wholeCPU  []float64 // whole-run task clock
 }
 
-// runSet executes opt.Invocations runs of one configuration in parallel.
-// A configuration counts as completed only if every invocation completes —
-// matching the paper's all-or-nothing plotting rule.
-func runSet(d *workload.Descriptor, cfg workload.RunConfig, opt Options) *invocationSet {
+// runSet executes opt.Invocations runs of one configuration as concurrent
+// engine jobs. A configuration counts as completed only if every invocation
+// completes — matching the paper's all-or-nothing plotting rule.
+func runSet(eng *exper.Engine, d *workload.Descriptor, cfg workload.RunConfig, opt Options) *invocationSet {
 	set := &invocationSet{completed: true}
 	results := make([]*workload.Result, opt.Invocations)
 	errs := make([]error, opt.Invocations)
 
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, opt.Parallelism)
 	for i := 0; i < opt.Invocations; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
 			c := cfg
 			c.Seed = opt.Seed + uint64(i)*1_000_003 + 17
-			results[i], errs[i] = workload.Run(d, c)
+			results[i], errs[i] = eng.Run(d, c)
 		}(i)
 	}
 	wg.Wait()
@@ -168,58 +184,90 @@ func runSet(d *workload.Descriptor, cfg workload.RunConfig, opt Options) *invoca
 
 // LBOGrid sweeps collectors and heap factors for one benchmark and returns
 // its lower-bound-overhead grid. The minimum heap is measured first with the
-// baseline configuration; incomplete (OOM) cells are recorded as such.
+// baseline configuration; incomplete (OOM) cells are recorded as such. All
+// cells run concurrently as engine jobs — the engine's pool, not the sweep,
+// bounds parallelism — and results are assembled in fixed grid order, so the
+// output is deterministic however execution interleaves.
 func LBOGrid(d *workload.Descriptor, opt Options) (*lbo.Grid, float64, error) {
 	opt = opt.withDefaults(d)
-	minMB, err := MinHeapMB(d, opt)
+	eng := opt.engine()
+	minMB, err := eng.MinHeapMB(d, opt.minHeapParams())
 	if err != nil {
 		return nil, 0, fmt.Errorf("harness: %s min heap: %w", d.Name, err)
 	}
-	grid := &lbo.Grid{Benchmark: d.Name}
+
+	type cell struct {
+		kind gc.Kind
+		f    float64
+	}
+	var cells []cell
 	for _, kind := range opt.Collectors {
 		for _, f := range opt.HeapFactors {
-			cfg := workload.RunConfig{
-				HeapMB:     minMB * f,
-				Collector:  kind,
+			cells = append(cells, cell{kind, f})
+		}
+	}
+	sets := make([]*invocationSet, len(cells))
+	var wg sync.WaitGroup
+	for i, c := range cells {
+		wg.Add(1)
+		go func(i int, c cell) {
+			defer wg.Done()
+			sets[i] = runSet(eng, d, workload.RunConfig{
+				HeapMB:     minMB * c.f,
+				Collector:  c.kind,
 				Iterations: opt.Iterations,
 				Events:     opt.Events,
-			}
-			set := runSet(d, cfg, opt)
-			m := lbo.Measurement{
-				Collector:  kind.String(),
-				HeapFactor: f,
-				HeapMB:     minMB * f,
-				Completed:  set.completed,
-			}
-			if set.completed {
-				// LBO uses whole-run totals so concurrent cycles straddling
-				// iteration boundaries are attributed.
-				m.WallNS = stats.Mean(set.wholeWall)
-				m.CPUNS = stats.Mean(set.wholeCPU)
-				m.STWWallNS = stats.Mean(set.stwWall)
-				m.GCCPUNS = stats.Mean(set.gcCPU)
-				m.WallSamples = set.wholeWall
-				m.CPUSamples = set.wholeCPU
-			}
-			grid.Add(m)
+			}, opt)
+		}(i, c)
+	}
+	wg.Wait()
+
+	grid := &lbo.Grid{Benchmark: d.Name}
+	for i, c := range cells {
+		set := sets[i]
+		m := lbo.Measurement{
+			Collector:  c.kind.String(),
+			HeapFactor: c.f,
+			HeapMB:     minMB * c.f,
+			Completed:  set.completed,
 		}
+		if set.completed {
+			// LBO uses whole-run totals so concurrent cycles straddling
+			// iteration boundaries are attributed.
+			m.WallNS = stats.Mean(set.wholeWall)
+			m.CPUNS = stats.Mean(set.wholeCPU)
+			m.STWWallNS = stats.Mean(set.stwWall)
+			m.GCCPUNS = stats.Mean(set.gcCPU)
+			m.WallSamples = set.wholeWall
+			m.CPUSamples = set.wholeCPU
+		}
+		grid.Add(m)
 	}
 	return grid, minMB, nil
 }
 
 // SuiteLBO runs LBOGrid for every workload in ds (nil = whole suite) and
-// also returns the cross-suite geometric means of Figure 1.
+// also returns the cross-suite geometric means of Figure 1. Benchmarks run
+// concurrently over the shared engine pool; grids come back in input order.
 func SuiteLBO(ds []*workload.Descriptor, opt Options) ([]*lbo.Grid, []lbo.GeomeanPoint, error) {
 	if ds == nil {
 		ds = workload.All()
 	}
-	grids := make([]*lbo.Grid, 0, len(ds))
-	for _, d := range ds {
-		g, _, err := LBOGrid(d, opt)
+	grids := make([]*lbo.Grid, len(ds))
+	errs := make([]error, len(ds))
+	var wg sync.WaitGroup
+	for i, d := range ds {
+		wg.Add(1)
+		go func(i int, d *workload.Descriptor) {
+			defer wg.Done()
+			grids[i], _, errs[i] = LBOGrid(d, opt)
+		}(i, d)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, nil, err
 		}
-		grids = append(grids, g)
 	}
 	o := opt.withDefaults(ds[0])
 	names := make([]string, len(o.Collectors))
@@ -271,19 +319,34 @@ func Latency(d *workload.Descriptor, factors []float64, opt Options) ([]LatencyR
 func latencyExperiment(d *workload.Descriptor, factors []float64, opt Options,
 	openLoop bool, headroom float64) ([]LatencyResult, error) {
 	opt = opt.withDefaults(d)
+	eng := opt.engine()
 	if factors == nil {
 		factors = []float64{2, 6}
 	}
-	minMB, err := MinHeapMB(d, opt)
+	minMB, err := eng.MinHeapMB(d, opt.minHeapParams())
 	if err != nil {
 		return nil, err
 	}
-	var out []LatencyResult
+
+	type cell struct {
+		kind gc.Kind
+		f    float64
+	}
+	var cells []cell
 	for _, kind := range opt.Collectors {
 		for _, f := range factors {
+			cells = append(cells, cell{kind, f})
+		}
+	}
+	out := make([]LatencyResult, len(cells))
+	var wg sync.WaitGroup
+	for i, c := range cells {
+		wg.Add(1)
+		go func(i int, c cell) {
+			defer wg.Done()
 			cfg := workload.RunConfig{
-				HeapMB:           minMB * f,
-				Collector:        kind,
+				HeapMB:           minMB * c.f,
+				Collector:        c.kind,
 				Iterations:       opt.Iterations,
 				Events:           opt.Events,
 				Seed:             opt.Seed,
@@ -292,14 +355,14 @@ func latencyExperiment(d *workload.Descriptor, factors []float64, opt Options,
 				OpenLoopHeadroom: headroom,
 			}
 			lr := LatencyResult{
-				Benchmark: d.Name, Collector: kind.String(),
-				HeapFactor: f, HeapMB: minMB * f,
+				Benchmark: d.Name, Collector: c.kind.String(),
+				HeapFactor: c.f, HeapMB: minMB * c.f,
 			}
-			res, err := workload.Run(d, cfg)
+			res, err := eng.Run(d, cfg)
 			if err == nil {
 				events := make([]latency.Event, len(res.Events))
-				for i, e := range res.Events {
-					events[i] = latency.Event{Start: e.Start, End: e.End}
+				for j, e := range res.Events {
+					events[j] = latency.Event{Start: e.Start, End: e.End}
 				}
 				lr.Completed = true
 				lr.Events = events
@@ -311,9 +374,10 @@ func latencyExperiment(d *workload.Descriptor, factors []float64, opt Options,
 				lr.RunStart = last.StartNS
 				lr.RunEnd = last.EndNS
 			}
-			out = append(out, lr)
-		}
+			out[i] = lr
+		}(i, c)
 	}
+	wg.Wait()
 	return out, nil
 }
 
@@ -328,11 +392,12 @@ type HeapSample struct {
 // occupancy over the last iteration, G1 at 2x the minimum heap.
 func HeapTimeline(d *workload.Descriptor, opt Options) ([]HeapSample, error) {
 	opt = opt.withDefaults(d)
-	minMB, err := MinHeapMB(d, opt)
+	eng := opt.engine()
+	minMB, err := eng.MinHeapMB(d, opt.minHeapParams())
 	if err != nil {
 		return nil, err
 	}
-	res, err := workload.Run(d, workload.RunConfig{
+	res, err := eng.Run(d, workload.RunConfig{
 		HeapMB:     2 * minMB,
 		Collector:  gc.G1,
 		Iterations: opt.Iterations,

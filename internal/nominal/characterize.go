@@ -28,9 +28,15 @@ type Options struct {
 	// SkipSizeVariants skips the GMS/GML/GMV minimum-heap searches (the
 	// most expensive part) and reports NaN for them.
 	SkipSizeVariants bool
+	// Run executes each characterization invocation (default workload.Run).
+	// Passing an experiment engine's Run makes every probe a cacheable job.
+	Run RunFunc
 }
 
 func (o Options) withDefaults(d *workload.Descriptor) Options {
+	if o.Run == nil {
+		o.Run = workload.Run
+	}
 	if o.Events == 0 {
 		o.Events = d.Events / 4
 		if o.Events < 200 {
@@ -86,7 +92,7 @@ func Characterize(d *workload.Descriptor, opt Options) (*Characterization, error
 	// iterations as a cost compromise.
 	minheapCfg := base
 	minheapCfg.Iterations = 3
-	gmd, err := MinHeap(d, minheapCfg, 1)
+	gmd, err := MinHeapWith(opt.Run, d, minheapCfg, 1)
 	if err != nil {
 		return nil, fmt.Errorf("characterize %s: GMD: %w", d.Name, err)
 	}
@@ -95,7 +101,7 @@ func Characterize(d *workload.Descriptor, opt Options) (*Characterization, error
 
 	uncompressed := minheapCfg
 	uncompressed.DisableCompressedOops = true
-	gmu, err := MinHeap(d, uncompressed, 1)
+	gmu, err := MinHeapWith(opt.Run, d, uncompressed, 1)
 	if err != nil {
 		return nil, fmt.Errorf("characterize %s: GMU: %w", d.Name, err)
 	}
@@ -112,7 +118,7 @@ func Characterize(d *workload.Descriptor, opt Options) (*Characterization, error
 		}{{"GMS", workload.SizeSmall}, {"GML", workload.SizeLarge}, {"GMV", workload.SizeVLarge}} {
 			// Keep the characterization event budget: minimum heaps are
 			// live-set dominated, so probing with fewer events is safe.
-			v, err := MinHeap(d.Scaled(sv.size), minheapCfg, 1)
+			v, err := MinHeapWith(opt.Run, d.Scaled(sv.size), minheapCfg, 1)
 			if err != nil {
 				return nil, fmt.Errorf("characterize %s: %s: %w", d.Name, sv.name, err)
 			}
@@ -124,7 +130,7 @@ func Characterize(d *workload.Descriptor, opt Options) (*Characterization, error
 	profileCfg := base
 	profileCfg.HeapMB = 2 * gmd
 	profileCfg.Iterations = 3
-	prof, err := workload.Run(d, profileCfg)
+	prof, err := opt.Run(d, profileCfg)
 	if err != nil {
 		return nil, fmt.Errorf("characterize %s: profile run: %w", d.Name, err)
 	}
@@ -158,11 +164,11 @@ func Characterize(d *workload.Descriptor, opt Options) (*Characterization, error
 	set("GCP", pct(prof.Log.TotalPauseNS()/wallTotal))
 
 	// --- Heap size sensitivity: tight (1.1x) vs roomy (6x) heap.
-	tight, err := lastWall(d, withHeap(base, 1.1*gmd, 2))
+	tight, err := lastWall(opt.Run, d, withHeap(base, 1.1*gmd, 2))
 	if err != nil {
 		return nil, fmt.Errorf("characterize %s: GSS tight: %w", d.Name, err)
 	}
-	roomy, err := lastWall(d, withHeap(base, 6*gmd, 2))
+	roomy, err := lastWall(opt.Run, d, withHeap(base, 6*gmd, 2))
 	if err != nil {
 		return nil, fmt.Errorf("characterize %s: GSS roomy: %w", d.Name, err)
 	}
@@ -178,7 +184,7 @@ func Characterize(d *workload.Descriptor, opt Options) (*Characterization, error
 
 	// --- Warmup series (PWU) and iteration-0 data for PCC.
 	warmCfg := withHeap(base, 2*gmd, opt.WarmupIters)
-	warm, err := workload.Run(d, warmCfg)
+	warm, err := opt.Run(d, warmCfg)
 	if err != nil {
 		return nil, fmt.Errorf("characterize %s: warmup: %w", d.Name, err)
 	}
@@ -191,22 +197,22 @@ func Characterize(d *workload.Descriptor, opt Options) (*Characterization, error
 	// 2-iteration configuration run.
 	// The paper times iteration 5 (-n 5), by which the tiered default is
 	// well warmed for default-size inputs.
-	tieredSteady, err := lastWall(d, withHeap(base, 2*gmd, 5))
+	tieredSteady, err := lastWall(opt.Run, d, withHeap(base, 2*gmd, 5))
 	if err != nil {
 		return nil, err
 	}
-	pin, err := lastWall(d, withCompiler(withHeap(base, 2*gmd, 5), jit.InterpreterOnly))
+	pin, err := lastWall(opt.Run, d, withCompiler(withHeap(base, 2*gmd, 5), jit.InterpreterOnly))
 	if err != nil {
 		return nil, err
 	}
 	set("PIN", pct(pin/tieredSteady-1))
-	pcs, err := lastWall(d, withCompiler(withHeap(base, 2*gmd, 5), jit.WorstTier))
+	pcs, err := lastWall(opt.Run, d, withCompiler(withHeap(base, 2*gmd, 5), jit.WorstTier))
 	if err != nil {
 		return nil, err
 	}
 	set("PCS", pct(pcs/tieredSteady-1))
 	c2Cfg := withCompiler(withHeap(base, 2*gmd, 1), jit.ForcedC2)
-	c2, err := workload.Run(d, c2Cfg)
+	c2, err := opt.Run(d, c2Cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -218,7 +224,7 @@ func Characterize(d *workload.Descriptor, opt Options) (*Characterization, error
 	machineRun := func(m cpuarch.Machine) (float64, error) {
 		cfg := withHeap(base, 2*gmd, opt.WarmupIters)
 		cfg.Machine = m
-		r, err := workload.Run(d, cfg)
+		r, err := opt.Run(d, cfg)
 		if err != nil {
 			return 0, err
 		}
@@ -246,7 +252,7 @@ func Characterize(d *workload.Descriptor, opt Options) (*Characterization, error
 	// iteration across seeds.
 	var walls []float64
 	for i := 0; i < opt.Invocations; i++ {
-		w, err := lastWall(d, reseed(withHeap(base, 2*gmd, 2), opt.Seed+uint64(i)*7919+1))
+		w, err := lastWall(opt.Run, d, reseed(withHeap(base, 2*gmd, 2), opt.Seed+uint64(i)*7919+1))
 		if err != nil {
 			return nil, err
 		}
@@ -340,8 +346,8 @@ func reseed(cfg workload.RunConfig, seed uint64) workload.RunConfig {
 }
 
 // lastWall runs the workload and returns the final iteration's wall time.
-func lastWall(d *workload.Descriptor, cfg workload.RunConfig) (float64, error) {
-	r, err := workload.Run(d, cfg)
+func lastWall(run RunFunc, d *workload.Descriptor, cfg workload.RunConfig) (float64, error) {
+	r, err := run(d, cfg)
 	if err != nil {
 		return 0, fmt.Errorf("characterize %s: %w", d.Name, err)
 	}

@@ -7,12 +7,24 @@ import (
 	"chopin/internal/workload"
 )
 
+// RunFunc executes one benchmark invocation. The package's measurements are
+// defined against workload.Run, but callers can inject an alternative — the
+// experiment engine passes its own cached, deduplicated executor so every
+// probe becomes a first-class job.
+type RunFunc func(*workload.Descriptor, workload.RunConfig) (*workload.Result, error)
+
 // MinHeap finds the minimum heap size, in MB, at which the workload runs to
 // completion under cfg (Recommendation H2's prerequisite: heap sizes must be
 // expressed as multiples of a measured per-benchmark minimum). It grows an
 // upper bound geometrically until the run completes, then bisects to within
 // tolMB or 1% of the bound, whichever is larger.
 func MinHeap(d *workload.Descriptor, cfg workload.RunConfig, tolMB float64) (float64, error) {
+	return MinHeapWith(workload.Run, d, cfg, tolMB)
+}
+
+// MinHeapWith is MinHeap with the probe executor injected; every probe
+// invocation goes through run.
+func MinHeapWith(run RunFunc, d *workload.Descriptor, cfg workload.RunConfig, tolMB float64) (float64, error) {
 	if tolMB <= 0 {
 		tolMB = 1
 	}
@@ -22,7 +34,7 @@ func MinHeap(d *workload.Descriptor, cfg workload.RunConfig, tolMB float64) (flo
 	completes := func(heapMB float64) (bool, error) {
 		c := cfg
 		c.HeapMB = heapMB
-		_, err := workload.Run(d, c)
+		_, err := run(d, c)
 		if err == nil {
 			return true, nil
 		}

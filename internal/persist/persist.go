@@ -1,6 +1,12 @@
 // Package persist saves and reloads experiment results as JSON, so
 // expensive sweeps can be archived and figures re-rendered offline — the
 // role running-ng's results directory plays for the paper's artifact.
+//
+// Schema v2 extends the archive with two invocation-level kinds that back
+// the experiment engine's content-addressed result cache (internal/exper):
+// "invocation" (one simulator run, keyed by the canonical job hash) and
+// "minheap" (one measured per-benchmark minimum heap). v1 archives of the
+// original kinds load transparently through the migration path.
 package persist
 
 import (
@@ -11,21 +17,59 @@ import (
 
 	"chopin/internal/lbo"
 	"chopin/internal/nominal"
+	"chopin/internal/workload"
 )
 
 // Archive is the top-level saved document.
 type Archive struct {
 	// Version guards the schema; bump on incompatible change.
 	Version int `json:"version"`
-	// Kind describes the payload: "lbo-grid", "geomean", "characterization".
+	// Kind describes the payload: "lbo-grid", "geomean", "characterization",
+	// "invocation", "minheap".
 	Kind string `json:"kind"`
 
 	Grid             *lbo.Grid                 `json:"grid,omitempty"`
 	Geomean          []lbo.GeomeanPoint        `json:"geomean,omitempty"`
 	Characterization *nominal.Characterization `json:"characterization,omitempty"`
+	Invocation       *InvocationRecord         `json:"invocation,omitempty"`
+	MinHeap          *MinHeapRecord            `json:"min_heap,omitempty"`
 }
 
-const currentVersion = 1
+// InvocationRecord is one cached simulator invocation: the complete Result
+// of running a workload under one RunConfig, or the fact that the
+// configuration ran out of memory. Key is the canonical content hash of the
+// (descriptor, RunConfig) pair that produced it, so a record is valid for
+// exactly the job that would reproduce it.
+type InvocationRecord struct {
+	Key       string  `json:"key"`
+	Workload  string  `json:"workload"`
+	Collector string  `json:"collector"`
+	HeapMB    float64 `json:"heap_mb"`
+	Seed      uint64  `json:"seed"`
+	// OOM records that the invocation failed with OutOfMemory — a cacheable
+	// outcome (the 1x rows of tight sweeps), distinct from transient errors,
+	// which are never cached.
+	OOM    bool             `json:"oom,omitempty"`
+	Result *workload.Result `json:"result,omitempty"`
+}
+
+// MinHeapRecord is one cached minimum-heap measurement: the validated GMD
+// for a (descriptor, search parameters) pair, keyed like an invocation.
+type MinHeapRecord struct {
+	Key       string  `json:"key"`
+	Workload  string  `json:"workload"`
+	MinHeapMB float64 `json:"min_heap_mb"`
+}
+
+const (
+	// currentVersion is the archive schema. v2 added the invocation-cache
+	// kinds; earlier versions migrate on load.
+	currentVersion = 2
+	oldestVersion  = 1
+)
+
+// CurrentVersion reports the schema version new archives are written with.
+func CurrentVersion() int { return currentVersion }
 
 // SaveGrid writes a benchmark's LBO grid.
 func SaveGrid(path string, g *lbo.Grid) error {
@@ -42,6 +86,16 @@ func SaveCharacterization(path string, c *nominal.Characterization) error {
 	return write(path, Archive{Version: currentVersion, Kind: "characterization", Characterization: c})
 }
 
+// SaveInvocation writes one cached invocation result.
+func SaveInvocation(path string, r *InvocationRecord) error {
+	return write(path, Archive{Version: currentVersion, Kind: "invocation", Invocation: r})
+}
+
+// SaveMinHeap writes one cached minimum-heap measurement.
+func SaveMinHeap(path string, r *MinHeapRecord) error {
+	return write(path, Archive{Version: currentVersion, Kind: "minheap", MinHeap: r})
+}
+
 func write(path string, a Archive) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("persist: %w", err)
@@ -50,10 +104,42 @@ func write(path string, a Archive) error {
 	if err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
-	return os.WriteFile(path, data, 0o644)
+	// Write-then-rename so concurrent engine workers never observe a
+	// half-written archive.
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: %w", err)
+	}
+	return nil
 }
 
-// Load reads any archive and validates its envelope.
+// migrate upgrades an archive from its stored version to currentVersion,
+// one version step at a time.
+func migrate(path string, a *Archive) error {
+	for a.Version < currentVersion {
+		switch a.Version {
+		case 1:
+			// v1 -> v2: the envelope is unchanged for the original kinds;
+			// the invocation-cache kinds did not exist yet, so a v1 archive
+			// claiming one is corrupt rather than old.
+			switch a.Kind {
+			case "invocation", "minheap":
+				return fmt.Errorf("persist: %s: kind %q requires version 2, archive claims version 1", path, a.Kind)
+			}
+			a.Version = 2
+		default:
+			return fmt.Errorf("persist: %s: no migration from version %d", path, a.Version)
+		}
+	}
+	return nil
+}
+
+// Load reads any archive, migrating older versions, and validates its
+// envelope.
 func Load(path string) (*Archive, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -63,8 +149,12 @@ func Load(path string) (*Archive, error) {
 	if err := json.Unmarshal(data, &a); err != nil {
 		return nil, fmt.Errorf("persist: %s: %w", path, err)
 	}
-	if a.Version != currentVersion {
-		return nil, fmt.Errorf("persist: %s: version %d, want %d", path, a.Version, currentVersion)
+	if a.Version < oldestVersion || a.Version > currentVersion {
+		return nil, fmt.Errorf("persist: %s: version %d outside supported range [%d, %d]",
+			path, a.Version, oldestVersion, currentVersion)
+	}
+	if err := migrate(path, &a); err != nil {
+		return nil, err
 	}
 	switch a.Kind {
 	case "lbo-grid":
@@ -78,6 +168,21 @@ func Load(path string) (*Archive, error) {
 	case "characterization":
 		if a.Characterization == nil {
 			return nil, fmt.Errorf("persist: %s: characterization archive without payload", path)
+		}
+	case "invocation":
+		if a.Invocation == nil {
+			return nil, fmt.Errorf("persist: %s: invocation archive without record", path)
+		}
+		if !a.Invocation.OOM && a.Invocation.Result == nil {
+			return nil, fmt.Errorf("persist: %s: invocation archive with neither result nor OOM", path)
+		}
+	case "minheap":
+		if a.MinHeap == nil {
+			return nil, fmt.Errorf("persist: %s: minheap archive without record", path)
+		}
+		if a.MinHeap.MinHeapMB <= 0 {
+			return nil, fmt.Errorf("persist: %s: minheap archive with non-positive heap %v",
+				path, a.MinHeap.MinHeapMB)
 		}
 	default:
 		return nil, fmt.Errorf("persist: %s: unknown kind %q", path, a.Kind)
@@ -119,4 +224,28 @@ func LoadCharacterization(path string) (*nominal.Characterization, error) {
 		return nil, fmt.Errorf("persist: %s holds %q, want characterization", path, a.Kind)
 	}
 	return a.Characterization, nil
+}
+
+// LoadInvocation reads a cached invocation archive.
+func LoadInvocation(path string) (*InvocationRecord, error) {
+	a, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if a.Kind != "invocation" {
+		return nil, fmt.Errorf("persist: %s holds %q, want invocation", path, a.Kind)
+	}
+	return a.Invocation, nil
+}
+
+// LoadMinHeap reads a cached minimum-heap archive.
+func LoadMinHeap(path string) (*MinHeapRecord, error) {
+	a, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if a.Kind != "minheap" {
+		return nil, fmt.Errorf("persist: %s holds %q, want minheap", path, a.Kind)
+	}
+	return a.MinHeap, nil
 }

@@ -6,8 +6,11 @@ import (
 	"path/filepath"
 	"testing"
 
+	"chopin/internal/gc"
 	"chopin/internal/lbo"
 	"chopin/internal/nominal"
+	"chopin/internal/trace"
+	"chopin/internal/workload"
 )
 
 func tempPath(t *testing.T, name string) string {
@@ -126,5 +129,150 @@ func TestLoadErrors(t *testing.T) {
 	os.WriteFile(empty, []byte(`{"version":1,"kind":"lbo-grid"}`), 0o644)
 	if _, err := Load(empty); err == nil {
 		t.Fatal("missing payload should error")
+	}
+}
+
+func sampleInvocation() *InvocationRecord {
+	return &InvocationRecord{
+		Key:       "abc123",
+		Workload:  "fop",
+		Collector: "G1",
+		HeapMB:    26,
+		Seed:      42,
+		Result: &workload.Result{
+			Workload: "fop",
+			Config:   workload.RunConfig{HeapMB: 26, Collector: gc.G1, Iterations: 2},
+			Iterations: []workload.IterationResult{
+				{WallNS: 2e9, CPUNS: 3e9, Allocated: 1e9},
+				{WallNS: 1e9, CPUNS: 1.5e9, Allocated: 1e9, StartNS: 2e9, EndNS: 3e9},
+			},
+			Log:     &trace.Log{},
+			GCCPUNS: 4e8,
+		},
+	}
+}
+
+func TestInvocationRoundTrip(t *testing.T) {
+	path := tempPath(t, "inv.json")
+	rec := sampleInvocation()
+	if err := SaveInvocation(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadInvocation(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != rec.Key || got.Workload != "fop" || got.OOM {
+		t.Fatalf("record = %+v", got)
+	}
+	if got.Result == nil || len(got.Result.Iterations) != 2 {
+		t.Fatalf("result lost: %+v", got.Result)
+	}
+	if got.Result.Last().WallNS != 1e9 || got.Result.GCCPUNS != 4e8 {
+		t.Fatalf("result data lost: %+v", got.Result)
+	}
+	if got.Result.Config.Collector != gc.G1 || got.Result.Config.HeapMB != 26 {
+		t.Fatalf("config lost: %+v", got.Result.Config)
+	}
+}
+
+func TestInvocationOOMRoundTrip(t *testing.T) {
+	path := tempPath(t, "oom.json")
+	rec := &InvocationRecord{Key: "k1", Workload: "h2", Collector: "ZGC", HeapMB: 8, OOM: true}
+	if err := SaveInvocation(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadInvocation(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.OOM || got.Result != nil || got.HeapMB != 8 {
+		t.Fatalf("record = %+v", got)
+	}
+}
+
+func TestMinHeapRoundTrip(t *testing.T) {
+	path := tempPath(t, "minheap.json")
+	rec := &MinHeapRecord{Key: "mh1", Workload: "fop", MinHeapMB: 13.25}
+	if err := SaveMinHeap(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadMinHeap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *rec {
+		t.Fatalf("record = %+v, want %+v", got, rec)
+	}
+	// Cross-kind loads must fail.
+	if _, err := LoadInvocation(path); err == nil {
+		t.Fatal("loading a minheap as invocation should fail")
+	}
+}
+
+func TestInvocationWithoutPayloadRejected(t *testing.T) {
+	path := tempPath(t, "empty-inv.json")
+	os.WriteFile(path, []byte(`{"version":2,"kind":"invocation","invocation":{"key":"k","workload":"fop"}}`), 0o644)
+	if _, err := Load(path); err == nil {
+		t.Fatal("invocation with neither result nor OOM should error")
+	}
+	neg := tempPath(t, "neg-minheap.json")
+	os.WriteFile(neg, []byte(`{"version":2,"kind":"minheap","min_heap":{"key":"k","workload":"fop","min_heap_mb":0}}`), 0o644)
+	if _, err := Load(neg); err == nil {
+		t.Fatal("minheap with non-positive bound should error")
+	}
+}
+
+// TestV1Migration feeds Load a hand-written v1 archive — the schema the seed
+// release wrote — and expects it to come back migrated to the current
+// version with its payload intact.
+func TestV1Migration(t *testing.T) {
+	path := tempPath(t, "v1.json")
+	body := `{
+  "version": 1,
+  "kind": "lbo-grid",
+  "grid": {
+    "Benchmark": "fop",
+    "Cells": [
+      {"Collector": "G1", "HeapFactor": 2, "HeapMB": 26, "Completed": true,
+       "WallNS": 100, "CPUNS": 150}
+    ]
+  }
+}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Version != CurrentVersion() {
+		t.Fatalf("migrated version = %d, want %d", a.Version, CurrentVersion())
+	}
+	if a.Grid == nil || a.Grid.Benchmark != "fop" || len(a.Grid.Cells) != 1 {
+		t.Fatalf("payload lost in migration: %+v", a.Grid)
+	}
+}
+
+// A v1 archive claiming an invocation-cache kind is corrupt, not old: those
+// kinds did not exist before v2.
+func TestV1InvocationRejected(t *testing.T) {
+	path := tempPath(t, "v1-inv.json")
+	os.WriteFile(path, []byte(`{"version":1,"kind":"invocation","invocation":{"key":"k","oom":true}}`), 0o644)
+	if _, err := Load(path); err == nil {
+		t.Fatal("v1 invocation archive should be rejected")
+	}
+	mh := tempPath(t, "v1-mh.json")
+	os.WriteFile(mh, []byte(`{"version":1,"kind":"minheap","min_heap":{"key":"k","min_heap_mb":10}}`), 0o644)
+	if _, err := Load(mh); err == nil {
+		t.Fatal("v1 minheap archive should be rejected")
+	}
+}
+
+func TestVersionBelowRangeRejected(t *testing.T) {
+	path := tempPath(t, "v0.json")
+	os.WriteFile(path, []byte(`{"version":0,"kind":"lbo-grid","grid":{"Benchmark":"fop"}}`), 0o644)
+	if _, err := Load(path); err == nil {
+		t.Fatal("version 0 should be rejected")
 	}
 }
