@@ -11,7 +11,14 @@ tier1:
 test:
 	go test ./...
 
-# Figure/table regeneration benches (reduced sizes; minutes, not hours).
+# Simulator/engine microbenchmarks: ns/op and allocs/op for the scheduler
+# hot path, captured to BENCH_sim.json so perf regressions are diffable.
 .PHONY: bench
 bench:
+	go test -run='^$$' -bench='BenchmarkEngine' -benchmem -benchtime=300ms \
+		./internal/sim | go run ./cmd/benchjson -out BENCH_sim.json
+
+# Figure/table regeneration benches (reduced sizes; minutes, not hours).
+.PHONY: bench-figures
+bench-figures:
 	go test -bench=. -benchtime=1x -run='^$$' .

@@ -1,0 +1,103 @@
+// Command benchjson captures `go test -bench -benchmem` output as JSON.
+//
+// It reads benchmark output on stdin, echoes it unchanged to stdout (so the
+// run stays visible in the terminal and in CI logs), and writes a JSON file
+// mapping benchmark name → {ns_per_op, b_per_op, allocs_per_op}. The
+// GOMAXPROCS suffix (-8 etc.) is stripped so the names are stable across
+// machines; `make bench` uses it to seed the repo's perf trajectory in
+// BENCH_sim.json.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchmem ./internal/sim | benchjson -out BENCH_sim.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Measurement is one benchmark's captured result.
+type Measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      *int64  `json:"b_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	Iterations  int64   `json:"iterations"`
+}
+
+// benchLine matches `BenchmarkName-8   123456   78.9 ns/op [ 0 B/op  0 allocs/op ]`.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "BENCH_sim.json", "output JSON path")
+	flag.Parse()
+
+	results := map[string]Measurement{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		meas := Measurement{NsPerOp: ns, Iterations: iters}
+		if m[4] != "" {
+			b, _ := strconv.ParseInt(m[4], 10, 64)
+			meas.BPerOp = &b
+		}
+		if m[5] != "" {
+			a, _ := strconv.ParseInt(m[5], 10, 64)
+			meas.AllocsPerOp = &a
+		}
+		results[m[1]] = meas
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	// Deterministic output: marshal via a sorted intermediate form.
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var buf []byte
+	buf = append(buf, "{\n"...)
+	for i, n := range names {
+		entry, err := json.Marshal(results[n])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, fmt.Sprintf("  %q: %s", n, entry)...)
+		if i < len(names)-1 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, '\n')
+	}
+	buf = append(buf, "}\n"...)
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+}

@@ -103,6 +103,8 @@ func (c *Collector) MutatorFactor() float64 {
 }
 
 // GCCPU returns the total CPU consumed by the collector's threads so far.
+// Thread.CPU materializes in-flight service credit lazily, so the sum is
+// exact even when workers are mid-quantum (e.g. during a concurrent cycle).
 func (c *Collector) GCCPU() float64 {
 	var sum float64
 	for _, t := range c.stwWorkers {
@@ -352,7 +354,9 @@ func (c *Collector) startCycle(minor bool) {
 	})
 }
 
-// concCPU sums concurrent workers' CPU, for per-cycle attribution.
+// concCPU sums concurrent workers' CPU, for per-cycle attribution. It is
+// read both at cycle start (workers idle) and at cancellation (workers
+// mid-quantum); the engine's lazy accounting keeps both reads exact.
 func (c *Collector) concCPU() float64 {
 	var sum float64
 	for _, t := range c.concWorkers {

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+)
+
+// testEntry exercises ordHeap with the same (primary, seq) shape both real
+// entry types use.
+type testEntry struct {
+	key float64
+	seq int64
+}
+
+func (a testEntry) lessThan(b testEntry) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.seq < b.seq
+}
+
+func TestOrdHeapPopsInOrder(t *testing.T) {
+	var h ordHeap[testEntry]
+	rng := NewRNG(21)
+	var want []testEntry
+	for i := 0; i < 500; i++ {
+		e := testEntry{key: float64(rng.Uint64() % 64), seq: int64(i)}
+		h.push(e)
+		want = append(want, e)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i].lessThan(want[j]) })
+	for i, w := range want {
+		if h.len() != len(want)-i {
+			t.Fatalf("len = %d at pop %d", h.len(), i)
+		}
+		if got := h.peek(); got != w {
+			t.Fatalf("peek %d = %+v, want %+v", i, got, w)
+		}
+		if got := h.pop(); got != w {
+			t.Fatalf("pop %d = %+v, want %+v", i, got, w)
+		}
+	}
+	if h.len() != 0 {
+		t.Fatalf("heap not drained: %d left", h.len())
+	}
+}
+
+func TestOrdHeapInterleavedPushPop(t *testing.T) {
+	var h ordHeap[testEntry]
+	rng := NewRNG(9)
+	seq := int64(0)
+	lastKey := -1.0
+	for round := 0; round < 200; round++ {
+		for i := 0; i < int(rng.Uint64()%8); i++ {
+			seq++
+			h.push(testEntry{key: lastKey + float64(rng.Uint64()%100), seq: seq})
+		}
+		for i := 0; i < int(rng.Uint64()%8) && h.len() > 0; i++ {
+			e := h.pop()
+			if e.key < lastKey {
+				t.Fatalf("pop went backwards: %v after %v", e.key, lastKey)
+			}
+			lastKey = e.key
+		}
+	}
+}
+
+func TestOrdHeapFilter(t *testing.T) {
+	var h ordHeap[testEntry]
+	for i := 0; i < 300; i++ {
+		h.push(testEntry{key: float64((i * 7919) % 1000), seq: int64(i)})
+	}
+	removed := h.filter(func(e testEntry) bool { return e.seq%3 != 0 })
+	if removed != 100 {
+		t.Fatalf("removed %d entries, want 100", removed)
+	}
+	if h.len() != 200 {
+		t.Fatalf("len after filter = %d, want 200", h.len())
+	}
+	prev := testEntry{key: -1}
+	for h.len() > 0 {
+		e := h.pop()
+		if e.seq%3 == 0 {
+			t.Fatalf("filtered entry survived: %+v", e)
+		}
+		if e.lessThan(prev) {
+			t.Fatalf("heap order violated after filter: %+v before %+v", prev, e)
+		}
+		prev = e
+	}
+}
+
+func TestOrdHeapFilterAll(t *testing.T) {
+	var h ordHeap[testEntry]
+	for i := 0; i < 50; i++ {
+		h.push(testEntry{key: float64(i)})
+	}
+	if removed := h.filter(func(testEntry) bool { return false }); removed != 50 {
+		t.Fatalf("removed %d, want 50", removed)
+	}
+	if h.len() != 0 {
+		t.Fatalf("len = %d, want 0", h.len())
+	}
+	h.push(testEntry{key: 1})
+	if got := h.pop(); got.key != 1 {
+		t.Fatalf("heap unusable after full filter: %+v", got)
+	}
+}

@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// Differential property test: the virtual-service-time stepper and the naive
+// reference stepper are driven through the same seeded randomized schedule of
+// Exec / Block / Unblock / Abandon / Finish / timer / cancel traffic, and
+// must produce identical event traces and telemetry within timeEps.
+//
+// The script's only inputs are the RNG stream and engine-visible state
+// (State(), Now()); if the two steppers are equivalent, every callback fires
+// in the same order, both consume the RNG identically, and the traces match.
+// Any semantic divergence compounds instead of hiding.
+
+type propEvent struct {
+	kind string // "done", "timer"
+	id   int
+	at   float64
+}
+
+type propResult struct {
+	trace   []propEvent
+	now     float64
+	task    float64
+	events  int64
+	cpu     []float64
+	blocked []float64
+	states  []State
+}
+
+func runPropScript(seed uint64, reference bool) propResult {
+	rng := NewRNG(seed)
+	hw := 1 + int(rng.Uint64()%4)
+	var e *Engine
+	if reference {
+		e = NewReferenceEngine(hw, nil)
+	} else {
+		e = NewEngine(hw, nil)
+	}
+
+	var res propResult
+	nW := 2 + int(rng.Uint64()%5)
+	ths := make([]*Thread, nW)
+	opsLeft := make([]int, nW)
+	for i := range ths {
+		ths[i] = e.NewThread(fmt.Sprintf("w%d", i))
+		opsLeft[i] = 3 + int(rng.Uint64()%12)
+	}
+
+	// Each worker chains random quanta until its budget runs out.
+	var kick func(i int)
+	kick = func(i int) {
+		if opsLeft[i] <= 0 || ths[i].State() != StateIdle {
+			return
+		}
+		opsLeft[i]--
+		work := 1 + float64(rng.Uint64()%1500)
+		ths[i].Exec(work, func() {
+			res.trace = append(res.trace, propEvent{"done", i, e.NowF()})
+			kick(i)
+		})
+	}
+
+	// Meddler timers perturb the workers: STW-style block/unblock pairs,
+	// abandons, finishes, extra work injection, and cancellation games.
+	nT := 4 + int(rng.Uint64()%10)
+	for j := 0; j < nT; j++ {
+		j := j
+		at := float64(1 + rng.Uint64()%4000)
+		tgt := ths[int(rng.Uint64()%uint64(nW))]
+		switch rng.Uint64() % 6 {
+		case 0, 1: // pause the target for a while
+			delay := float64(1 + rng.Uint64()%800)
+			e.After(at, func() {
+				res.trace = append(res.trace, propEvent{"timer", j, e.NowF()})
+				if s := tgt.State(); s == StateRunnable || s == StateIdle {
+					tgt.Block()
+					e.After(delay, func() {
+						if tgt.State() == StateBlocked {
+							tgt.Unblock()
+						}
+					})
+				}
+			})
+		case 2: // abandon the target's quantum
+			e.After(at, func() {
+				res.trace = append(res.trace, propEvent{"timer", j, e.NowF()})
+				if tgt.State() != StateDone {
+					tgt.Abandon()
+				}
+			})
+		case 3: // retire the target (possibly mid-block: the Finish bugfix path)
+			e.After(at, func() {
+				res.trace = append(res.trace, propEvent{"timer", j, e.NowF()})
+				if tgt.State() != StateDone {
+					tgt.Finish()
+				}
+			})
+		case 4: // cancellation: the cancel may land before or after the fire
+			tm := e.After(at, func() {
+				res.trace = append(res.trace, propEvent{"timer", j, e.NowF()})
+			})
+			e.After(float64(1+rng.Uint64()%6000), tm.Cancel)
+		case 5: // inject extra work into an idle target
+			e.After(at, func() {
+				res.trace = append(res.trace, propEvent{"timer", j, e.NowF()})
+				if tgt.State() == StateIdle {
+					opsLeft[idOf(ths, tgt)] += 2
+					kick(idOf(ths, tgt))
+				}
+			})
+		}
+	}
+
+	for i := range ths {
+		kick(i)
+	}
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+
+	res.now = e.NowF()
+	res.task = e.TaskClock()
+	res.events = e.Events()
+	for _, t := range ths {
+		res.cpu = append(res.cpu, t.CPU())
+		res.blocked = append(res.blocked, t.BlockedTime())
+		res.states = append(res.states, t.State())
+	}
+	return res
+}
+
+func idOf(ths []*Thread, t *Thread) int {
+	for i := range ths {
+		if ths[i] == t {
+			return i
+		}
+	}
+	panic("unknown thread")
+}
+
+func propClose(a, b float64) bool {
+	return math.Abs(a-b) <= timeEps*(1+1e-9*math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestPropertyFastMatchesReference(t *testing.T) {
+	const cases = 1200
+	for seed := uint64(0); seed < cases; seed++ {
+		fast := runPropScript(seed, false)
+		ref := runPropScript(seed, true)
+
+		if len(fast.trace) != len(ref.trace) {
+			t.Fatalf("seed %d: trace length %d (fast) vs %d (reference)",
+				seed, len(fast.trace), len(ref.trace))
+		}
+		for k := range fast.trace {
+			f, r := fast.trace[k], ref.trace[k]
+			if f.kind != r.kind || f.id != r.id || !propClose(f.at, r.at) {
+				t.Fatalf("seed %d: trace[%d] = %+v (fast) vs %+v (reference)", seed, k, f, r)
+			}
+		}
+		if !propClose(fast.now, ref.now) {
+			t.Fatalf("seed %d: final now %v vs %v", seed, fast.now, ref.now)
+		}
+		if !propClose(fast.task, ref.task) {
+			t.Fatalf("seed %d: task clock %v vs %v", seed, fast.task, ref.task)
+		}
+		if fast.events != ref.events {
+			t.Fatalf("seed %d: events %d vs %d", seed, fast.events, ref.events)
+		}
+		for i := range fast.cpu {
+			if !propClose(fast.cpu[i], ref.cpu[i]) {
+				t.Fatalf("seed %d: thread %d cpu %v vs %v", seed, i, fast.cpu[i], ref.cpu[i])
+			}
+			if !propClose(fast.blocked[i], ref.blocked[i]) {
+				t.Fatalf("seed %d: thread %d blocked %v vs %v", seed, i, fast.blocked[i], ref.blocked[i])
+			}
+			if fast.states[i] != ref.states[i] {
+				t.Fatalf("seed %d: thread %d state %v vs %v", seed, i, fast.states[i], ref.states[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package sim
+
+import "math"
+
+// The reference stepper: the original O(threads)-per-event scheduler, kept
+// as the correctness oracle for the virtual-service-time core. Each step it
+// rebuilds the runnable set by scanning all threads, scans again for the
+// earliest quantum completion, and eagerly updates every runnable thread's
+// cpu/remaining for the segment. It shares the engine's thread states, timer
+// queue and callback-dispatch semantics exactly; only the scheduling data
+// structure differs. The seeded property test (prop_test.go) drives both
+// steppers through randomized schedules and demands identical event traces
+// and telemetry, and the engine benchmarks quantify the gap.
+
+// NewReferenceEngine returns an engine identical in semantics to NewEngine
+// but driven by the naive O(threads)-per-event stepper with eager per-thread
+// accounting. It exists for differential testing and benchmarking; use
+// NewEngine everywhere else.
+func NewReferenceEngine(hw int, capacity CapacityFunc) *Engine {
+	e := NewEngine(hw, capacity)
+	e.naive = true
+	return e
+}
+
+// Reference reports whether this engine uses the naive reference stepper.
+func (e *Engine) Reference() bool { return e.naive }
+
+// stepReference is one step of the naive scheduler: O(T) scans plus an
+// eager per-thread update, against the fast stepper's O(log T) transitions.
+func (e *Engine) stepReference() bool {
+	e.runnable = e.runnable[:0]
+	for _, t := range e.threads {
+		if t.state == StateRunnable {
+			e.runnable = append(e.runnable, t)
+		}
+	}
+
+	if len(e.runnable) == 0 {
+		at, ok := e.nextTimerAt()
+		if !ok {
+			return false
+		}
+		// Idle machine: jump straight to the next timer.
+		if at > e.now {
+			e.now = at
+		}
+		e.fireTimers()
+		e.events++
+		return true
+	}
+
+	rate := e.rateFor(len(e.runnable))
+
+	// Earliest quantum completion under the current sharing rate.
+	dt := math.Inf(1)
+	for _, t := range e.runnable {
+		if d := t.remaining / rate; d < dt {
+			dt = d
+		}
+	}
+	// Earliest timer.
+	if at, ok := e.nextTimerAt(); ok {
+		if d := at - e.now; d < dt {
+			dt = d
+		}
+	}
+	if dt < 0 {
+		dt = 0
+	}
+
+	// Advance the segment, eagerly crediting every runnable thread.
+	e.now += dt
+	progress := dt * rate
+	e.finished = e.finished[:0]
+	for _, t := range e.runnable {
+		t.cpu += progress
+		t.remaining -= progress
+		if t.remaining <= timeEps {
+			t.remaining = 0
+			e.finished = append(e.finished, t)
+		}
+	}
+
+	// Dispatch quantum completions (deterministic thread-creation order),
+	// then timers due at or before the new now, under the same callback
+	// semantics as the fast stepper (see Step).
+	for _, t := range e.finished {
+		if t.state == StateRunnable {
+			t.state = StateIdle
+		}
+		done := t.onDone
+		t.onDone = nil
+		if done != nil {
+			done()
+		}
+	}
+	e.fireTimers()
+	e.events++
+	return true
+}

@@ -17,6 +17,23 @@
 //     perf TASK_CLOCK reports), which exposes total computational cost even
 //     when work hides on otherwise-idle cores.
 //
+// # Virtual service time
+//
+// Because every runnable thread progresses at the same instantaneous rate,
+// the engine keeps one cumulative service credit S(t) — the CPU-nanoseconds
+// any thread continuously runnable since t=0 would have consumed — and
+// advances it segment by segment. A thread entering a quantum with r
+// nanoseconds of work at credit S₀ completes exactly when S reaches S₀+r,
+// a quantity fixed at entry and independent of later rate changes. A binary
+// min-heap keyed on that completion credit therefore gives O(1) next-event
+// lookup and O(log T) per state transition, instead of the naive stepper's
+// O(T) rescan-and-update per segment. Per-thread cpu/remaining are
+// materialized lazily from S deltas only when a thread leaves the runnable
+// set (or when read), and the task clock is an O(1) aggregate. The naive
+// stepper is retained (NewReferenceEngine) as the correctness oracle; a
+// seeded property test drives both through randomized schedules and demands
+// identical traces and telemetry.
+//
 // All state is confined to a single goroutine; the engine is deterministic
 // given a seed, which is what lets invocations be replayed and confidence
 // intervals be honest.
@@ -39,25 +56,64 @@ const (
 
 // CapacityFunc maps the number of runnable threads to the aggregate CPU
 // capacity delivered by the machine, in units of hardware threads. It must
-// satisfy 0 < C(n) <= n for n > 0 and be non-decreasing in n; the engine
-// shares the capacity equally among runnable threads.
+// satisfy 0 < C(n) <= n for n > 0, be non-decreasing in n, and be pure: the
+// engine memoizes C(n) per runnable count.
 type CapacityFunc func(runnable int) float64
 
+// compEntry is the completion-heap entry for one runnable stint of a thread:
+// the thread completes its quantum when the engine's service credit reaches
+// finishS. Entries are orphaned (not removed) when a thread leaves the
+// runnable set early; the epoch stamp identifies them as stale when they
+// surface or when the heap compacts.
+type compEntry struct {
+	finishS float64
+	id      int32
+	epoch   uint32
+	t       *Thread
+}
+
+func (a compEntry) lessThan(b compEntry) bool {
+	if a.finishS != b.finishS {
+		return a.finishS < b.finishS
+	}
+	return a.id < b.id
+}
+
 // Engine is the discrete-event simulator. The zero value is not usable; call
-// NewEngine.
+// NewEngine (or NewReferenceEngine for the naive oracle).
 type Engine struct {
 	now      float64
+	vs       float64 // cumulative virtual service credit S(t)
 	hw       int
 	capacity CapacityFunc
+	rates    []float64 // memoized C(n)/n by runnable count
 	threads  []*Thread
-	timers   timerQueue
-	timerSeq int64
-	events   int64
-	maxEv    int64
+	naive    bool // use the O(T)-per-event reference stepper
+
+	// Completion queue (fast stepper only).
+	comp      ordHeap[compEntry]
+	staleComp int // orphaned entries awaiting lazy discard or compaction
+
+	// Runnable-set aggregates, maintained incrementally on every state
+	// transition so Step never rescans threads:
+	//   TaskClock = cpuBase + runCount·S − sumStartS
+	runCount  int     // |runnable|, counting only quanta still in flight
+	sumStartS float64 // Σ startS over active threads
+	cpuBase   float64 // Σ materialized cpu over all threads
+
+	// Timer queue (shared by both steppers; see timer.go).
+	timers          ordHeap[timerEntry]
+	cancelledTimers int
+	freeTimer       *timerNode
+	timerSeq        int64
+
+	events int64
+	maxEv  int64
 
 	// scratch buffers reused across steps to avoid per-step allocation.
-	runnable []*Thread
-	finished []*Thread
+	batch    []*Thread // fast stepper: threads completing this segment
+	runnable []*Thread // reference stepper: runnable-set rescan
+	finished []*Thread // reference stepper: completions this segment
 }
 
 // NewEngine returns an engine modelling a machine with hw hardware threads.
@@ -103,56 +159,129 @@ func (e *Engine) SetEventLimit(n int64) {
 }
 
 // TaskClock returns the total CPU time consumed by all threads so far, in
-// nanoseconds — the simulated equivalent of Linux perf TASK_CLOCK.
+// nanoseconds — the simulated equivalent of Linux perf TASK_CLOCK. Under the
+// fast stepper it is an O(1) running aggregate: the materialized base plus
+// each active thread's in-flight service credit.
 func (e *Engine) TaskClock() float64 {
-	var sum float64
-	for _, t := range e.threads {
-		sum += t.cpu
+	if e.naive {
+		var sum float64
+		for _, t := range e.threads {
+			sum += t.cpu
+		}
+		return sum
 	}
-	return sum
+	return e.cpuBase + float64(e.runCount)*e.vs - e.sumStartS
 }
 
 const timeEps = 1e-6 // tolerance for float time comparisons, in ns
 
+// rateFor returns the per-thread progress rate C(n)/n for n runnable
+// threads, memoized (CapacityFunc is pure by contract).
+func (e *Engine) rateFor(n int) float64 {
+	for len(e.rates) <= n {
+		e.rates = append(e.rates, 0)
+	}
+	r := e.rates[n]
+	if r == 0 {
+		c := e.capacity(n)
+		if c <= 0 || c > float64(n)+timeEps {
+			panic(fmt.Sprintf("sim: invalid capacity %v for %d runnable threads", c, n))
+		}
+		r = c / float64(n)
+		e.rates[n] = r
+	}
+	return r
+}
+
+// activate enters a thread into the runnable set: its completion credit is
+// fixed at S+remaining and pushed on the completion heap, and the aggregates
+// pick it up. O(log T).
+func (e *Engine) activate(t *Thread) {
+	t.active = true
+	t.startS = e.vs
+	t.finishS = e.vs + t.remaining
+	e.runCount++
+	e.sumStartS += t.startS
+	e.comp.push(compEntry{finishS: t.finishS, id: t.id, epoch: t.epoch, t: t})
+}
+
+// deactivate removes a thread from the runnable set, materializing the CPU
+// it consumed during this stint from the service-credit delta. The caller
+// decides what becomes of t.remaining (zero on completion/abandon, the
+// residual finishS−S on block) and whether a heap entry was orphaned.
+func (e *Engine) deactivate(t *Thread) {
+	delta := e.vs - t.startS
+	if delta < 0 {
+		delta = 0
+	}
+	t.cpu += delta
+	e.cpuBase += delta
+	e.runCount--
+	e.sumStartS -= t.startS
+	if e.runCount == 0 {
+		// Snap the aggregate at quiescent points so float residue from the
+		// add/subtract stream cannot drift across busy periods.
+		e.sumStartS = 0
+	}
+	t.active = false
+	t.epoch++
+}
+
+// orphanEntry records that a deactivated thread left its completion-heap
+// entry behind (Block/Abandon/Finish mid-quantum) and compacts the heap once
+// stale entries outnumber live ones, so block-heavy workloads cannot grow it
+// without bound.
+func (e *Engine) orphanEntry() {
+	e.staleComp++
+	if e.comp.len() < 64 || e.staleComp*2 <= e.comp.len() {
+		return
+	}
+	e.comp.filter(func(en compEntry) bool { return en.epoch == en.t.epoch })
+	e.staleComp = 0
+}
+
 // Step advances the simulation to the next event (quantum completion or timer
 // expiry) and dispatches callbacks. It returns false when the simulation is
-// quiescent: no runnable threads and no pending timers.
+// quiescent: no runnable threads and no pending (live) timers.
 func (e *Engine) Step() bool {
-	e.runnable = e.runnable[:0]
-	for _, t := range e.threads {
-		if t.state == StateRunnable {
-			e.runnable = append(e.runnable, t)
-		}
+	if e.naive {
+		return e.stepReference()
 	}
-
-	if len(e.runnable) == 0 {
-		if len(e.timers) == 0 {
+	if e.runCount == 0 {
+		at, ok := e.nextTimerAt()
+		if !ok {
 			return false
 		}
 		// Idle machine: jump straight to the next timer.
-		e.now = math.Max(e.now, e.timers[0].at)
+		if at > e.now {
+			e.now = at
+		}
 		e.fireTimers()
 		e.events++
 		return true
 	}
 
-	n := len(e.runnable)
-	cap := e.capacity(n)
-	if cap <= 0 || cap > float64(n)+timeEps {
-		panic(fmt.Sprintf("sim: invalid capacity %v for %d runnable threads", cap, n))
-	}
-	rate := cap / float64(n)
+	rate := e.rateFor(e.runCount)
 
-	// Earliest quantum completion under the current sharing rate.
+	// Earliest quantum completion: the top of the heap, once stale entries
+	// are discarded, completes when S reaches its credit.
 	dt := math.Inf(1)
-	for _, t := range e.runnable {
-		if d := t.remaining / rate; d < dt {
-			dt = d
+	for e.comp.len() > 0 {
+		top := e.comp.peek()
+		if top.epoch != top.t.epoch {
+			e.comp.pop()
+			e.staleComp--
+			continue
 		}
+		dt = (top.finishS - e.vs) / rate
+		break
+	}
+	if math.IsInf(dt, 1) {
+		panic("sim: runnable threads without completion entries")
 	}
 	// Earliest timer.
-	if len(e.timers) > 0 {
-		if d := e.timers[0].at - e.now; d < dt {
+	if at, ok := e.nextTimerAt(); ok {
+		if d := at - e.now; d < dt {
 			dt = d
 		}
 	}
@@ -160,28 +289,43 @@ func (e *Engine) Step() bool {
 		dt = 0
 	}
 
-	// Advance the segment.
+	// Advance the segment: every active thread's progress is implied by the
+	// credit advance; nothing per-thread is touched.
 	e.now += dt
-	progress := dt * rate
-	e.finished = e.finished[:0]
-	for _, t := range e.runnable {
-		t.cpu += progress
-		t.remaining -= progress
-		if t.remaining <= timeEps {
-			t.remaining = 0
-			e.finished = append(e.finished, t)
+	e.vs += dt * rate
+
+	// Collect quantum completions: every live entry whose credit is reached.
+	e.batch = e.batch[:0]
+	for e.comp.len() > 0 {
+		top := e.comp.peek()
+		if top.epoch != top.t.epoch {
+			e.comp.pop()
+			e.staleComp--
+			continue
+		}
+		if top.finishS > e.vs+timeEps {
+			break
+		}
+		e.comp.pop()
+		e.deactivate(top.t)
+		top.t.remaining = 0
+		e.batch = append(e.batch, top.t)
+	}
+	// Dispatch in thread-creation order, matching the reference stepper
+	// (heap order breaks credit ties by id but interleaves distinct credits
+	// within timeEps). Batches are tiny; insertion sort, no allocation.
+	for i := 1; i < len(e.batch); i++ {
+		for j := i; j > 0 && e.batch[j].id < e.batch[j-1].id; j-- {
+			e.batch[j], e.batch[j-1] = e.batch[j-1], e.batch[j]
 		}
 	}
-
-	// Dispatch quantum completions (deterministic thread-creation order),
-	// then timers due at or before the new now. A completion callback may
-	// block a later thread in this same batch (a stop-the-world pause
-	// beginning at the very instant that thread's quantum also completed):
-	// such a thread must stay blocked — only clobber Runnable state — but
-	// its completion still fires, since the quantum genuinely finished.
-	// A callback may also Abandon/Finish a later thread, which clears its
-	// onDone and thereby cancels the completion.
-	for _, t := range e.finished {
+	// A completion callback may block a later thread in this same batch (a
+	// stop-the-world pause beginning at the very instant that thread's
+	// quantum also completed): such a thread must stay blocked — only
+	// clobber Runnable state — but its completion still fires, since the
+	// quantum genuinely finished. A callback may also Abandon/Finish a later
+	// thread, which clears its onDone and thereby cancels the completion.
+	for _, t := range e.batch {
 		if t.state == StateRunnable {
 			t.state = StateIdle
 		}
@@ -205,98 +349,4 @@ func (e *Engine) Run() error {
 		}
 	}
 	return nil
-}
-
-// fireTimers dispatches every timer due at or before now, in (time, creation)
-// order. Callbacks may schedule further timers; those are honoured too if
-// already due.
-func (e *Engine) fireTimers() {
-	for len(e.timers) > 0 && e.timers[0].at <= e.now+timeEps {
-		tm := e.timers.pop()
-		if tm.cancelled {
-			continue
-		}
-		tm.fn()
-	}
-}
-
-// After schedules fn to run at now+d. It returns a handle that can cancel the
-// timer before it fires.
-func (e *Engine) After(d float64, fn func()) *Timer {
-	if d < 0 {
-		d = 0
-	}
-	if fn == nil {
-		panic("sim: nil timer callback")
-	}
-	e.timerSeq++
-	tm := &Timer{at: e.now + d, seq: e.timerSeq, fn: fn}
-	e.timers.push(tm)
-	return tm
-}
-
-// Timer is a handle to a scheduled callback.
-type Timer struct {
-	at        float64
-	seq       int64
-	fn        func()
-	cancelled bool
-}
-
-// Cancel prevents the timer from firing. Cancelling an already-fired timer is
-// a no-op.
-func (t *Timer) Cancel() { t.cancelled = true }
-
-// timerQueue is a binary min-heap ordered by (at, seq). A hand-rolled heap
-// (rather than container/heap) keeps the hot path free of interface calls.
-type timerQueue []*Timer
-
-func (q timerQueue) less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q *timerQueue) push(t *Timer) {
-	*q = append(*q, t)
-	i := len(*q) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !q.less(i, parent) {
-			break
-		}
-		(*q)[i], (*q)[parent] = (*q)[parent], (*q)[i]
-		i = parent
-	}
-}
-
-func (q *timerQueue) pop() *Timer {
-	h := *q
-	top := h[0]
-	last := len(h) - 1
-	h[0] = h[last]
-	h[last] = nil
-	*q = h[:last]
-	q.siftDown(0)
-	return top
-}
-
-func (q timerQueue) siftDown(i int) {
-	n := len(q)
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && q.less(l, smallest) {
-			smallest = l
-		}
-		if r < n && q.less(r, smallest) {
-			smallest = r
-		}
-		if smallest == i {
-			return
-		}
-		q[i], q[smallest] = q[smallest], q[i]
-		i = smallest
-	}
 }

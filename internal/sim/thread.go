@@ -30,14 +30,24 @@ func (s State) String() string {
 // Thread is a logical thread of execution in the simulated machine: a mutator
 // worker, a GC worker, or a background task. Threads execute CPU quanta; the
 // engine accounts their CPU time toward the task clock.
+//
+// Under the fast stepper, accounting is lazy: while a quantum is in flight
+// ("active"), cpu and remaining are implied by the engine's service credit
+// (cpu + S − startS consumed, finishS − S left) and materialized only when
+// the thread leaves the runnable set or an accessor is called. The reference
+// stepper keeps both fields eagerly up to date and never sets active.
 type Thread struct {
-	id         int
+	id         int32
+	epoch      uint32 // bumped when leaving the runnable set; stales heap entries
+	state      State
+	active     bool // fast stepper: quantum in flight, counted in aggregates
 	name       string
 	eng        *Engine
-	state      State
-	remaining  float64 // CPU ns left in the current quantum
+	remaining  float64 // CPU ns left in the current quantum (stale while active)
+	startS     float64 // service credit when the current stint began
+	finishS    float64 // service credit at which the current quantum completes
 	onDone     func()
-	cpu        float64 // total CPU ns consumed (task clock contribution)
+	cpu        float64 // materialized CPU ns consumed (see CPU)
 	kernelFrac float64 // fraction of this thread's CPU attributed to kernel mode
 	blockedAt  float64 // wall time at which the thread last blocked
 	blockedNS  float64 // cumulative wall time spent blocked
@@ -46,7 +56,7 @@ type Thread struct {
 // NewThread registers a new logical thread with the engine. Threads start
 // idle.
 func (e *Engine) NewThread(name string) *Thread {
-	t := &Thread{id: len(e.threads), name: name, eng: e}
+	t := &Thread{id: int32(len(e.threads)), name: name, eng: e}
 	e.threads = append(e.threads, t)
 	return t
 }
@@ -57,12 +67,18 @@ func (t *Thread) Name() string { return t.name }
 // State returns the thread's current state.
 func (t *Thread) State() State { return t.state }
 
-// CPU returns the total CPU nanoseconds this thread has consumed.
-func (t *Thread) CPU() float64 { return t.cpu }
+// CPU returns the total CPU nanoseconds this thread has consumed, including
+// the in-flight portion of a quantum still executing.
+func (t *Thread) CPU() float64 {
+	if t.active {
+		return t.cpu + (t.eng.vs - t.startS)
+	}
+	return t.cpu
+}
 
 // KernelCPU returns the portion of this thread's CPU time attributed to
 // kernel mode, per the fraction set with SetKernelFraction.
-func (t *Thread) KernelCPU() float64 { return t.cpu * t.kernelFrac }
+func (t *Thread) KernelCPU() float64 { return t.CPU() * t.kernelFrac }
 
 // BlockedTime returns the cumulative wall-clock time this thread has spent in
 // StateBlocked.
@@ -91,6 +107,27 @@ func (t *Thread) Exec(cpuNS float64, done func()) {
 	t.remaining = cpuNS
 	t.onDone = done
 	t.state = StateRunnable
+	if !t.eng.naive {
+		t.eng.activate(t)
+	}
+}
+
+// releaseQuantum takes an active thread out of the runnable set mid-quantum:
+// consumed CPU is materialized, the residual work is captured in remaining,
+// and the completion-heap entry is orphaned for lazy discard. A no-op for
+// inactive threads (reference stepper, or a quantum whose completion has
+// already been collected this event).
+func (t *Thread) releaseQuantum() {
+	if !t.active {
+		return
+	}
+	e := t.eng
+	e.deactivate(t)
+	t.remaining = t.finishS - e.vs
+	if t.remaining < 0 {
+		t.remaining = 0
+	}
+	e.orphanEntry()
 }
 
 // Block suspends a runnable thread mid-quantum, preserving its remaining
@@ -99,6 +136,7 @@ func (t *Thread) Exec(cpuNS float64, done func()) {
 func (t *Thread) Block() {
 	switch t.state {
 	case StateRunnable, StateIdle:
+		t.releaseQuantum()
 		t.state = StateBlocked
 		t.blockedAt = t.eng.now
 	default:
@@ -115,6 +153,9 @@ func (t *Thread) Unblock() {
 	t.blockedNS += t.eng.now - t.blockedAt
 	if t.remaining > 0 {
 		t.state = StateRunnable
+		if !t.eng.naive {
+			t.eng.activate(t)
+		}
 	} else {
 		t.state = StateIdle
 	}
@@ -131,14 +172,20 @@ func (t *Thread) Abandon() {
 	if t.state == StateBlocked {
 		t.blockedNS += t.eng.now - t.blockedAt
 	}
+	t.releaseQuantum()
 	t.state = StateIdle
 	t.onDone = nil
 	t.remaining = 0
 }
 
 // Finish marks the thread permanently done. Any in-flight quantum is
-// abandoned without its completion callback running.
+// abandoned without its completion callback running; an in-flight blocked
+// interval is credited to BlockedTime, as Abandon does.
 func (t *Thread) Finish() {
+	if t.state == StateBlocked {
+		t.blockedNS += t.eng.now - t.blockedAt
+	}
+	t.releaseQuantum()
 	t.state = StateDone
 	t.onDone = nil
 	t.remaining = 0

@@ -1,0 +1,148 @@
+package sim
+
+// Timer subsystem.
+//
+// Timers live in an ordHeap of small value entries ordered by (deadline,
+// sequence), so same-instant timers fire in creation order. Cancellation is
+// lazy: Cancel only marks the timer's node; the heap entry stays put and is
+// discarded when it surfaces, or swept out in bulk once cancelled entries
+// outnumber live ones — a workload that repeatedly schedules-and-cancels
+// (e.g. a pacer re-arming its deadline) therefore cannot grow the heap
+// without bound. Fired and cancelled nodes are recycled through a free list,
+// so steady-state timer traffic does not churn the Go allocator. Node reuse
+// is made safe by sequence stamping: a Timer handle captures the sequence it
+// was armed with, and Cancel on a handle whose node has since been recycled
+// is a no-op.
+
+// timerNode is the engine-owned state of one scheduled callback. Nodes are
+// recycled through the engine's free list once they fire, are swept, or are
+// discarded from the top of the heap.
+type timerNode struct {
+	fn        func()
+	seq       int64 // sequence of the current arming; 0 = on the free list
+	cancelled bool
+	next      *timerNode // free-list link
+}
+
+// timerEntry is the heap entry for one arming of a timer.
+type timerEntry struct {
+	at  float64
+	seq int64
+	n   *timerNode
+}
+
+func (a timerEntry) lessThan(b timerEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// Timer is a handle to a scheduled callback. It is a value: copying it is
+// cheap and safe, and a handle outliving its timer (fired, cancelled, or
+// swept) is inert.
+type Timer struct {
+	e   *Engine
+	n   *timerNode
+	seq int64
+}
+
+// Cancel prevents the timer from firing. Cancelling an already-fired or
+// already-cancelled timer is a no-op.
+func (tm Timer) Cancel() {
+	if tm.n == nil || tm.n.seq != tm.seq || tm.n.cancelled {
+		return
+	}
+	tm.n.cancelled = true
+	tm.e.cancelledTimers++
+	tm.e.maybeCompactTimers()
+}
+
+// After schedules fn to run at now+d. It returns a handle that can cancel
+// the timer before it fires.
+func (e *Engine) After(d float64, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	if fn == nil {
+		panic("sim: nil timer callback")
+	}
+	n := e.freeTimer
+	if n != nil {
+		e.freeTimer = n.next
+		n.next = nil
+	} else {
+		n = &timerNode{}
+	}
+	e.timerSeq++
+	n.fn = fn
+	n.seq = e.timerSeq
+	n.cancelled = false
+	e.timers.push(timerEntry{at: e.now + d, seq: e.timerSeq, n: n})
+	return Timer{e: e, n: n, seq: e.timerSeq}
+}
+
+// releaseTimer returns a node to the free list. seq 0 marks it free, so any
+// surviving handle's Cancel fails the sequence check and does nothing.
+func (e *Engine) releaseTimer(n *timerNode) {
+	n.fn = nil
+	n.seq = 0
+	n.cancelled = false
+	n.next = e.freeTimer
+	e.freeTimer = n
+}
+
+// nextTimerAt returns the deadline of the earliest live timer, discarding
+// cancelled entries that have surfaced at the top of the heap.
+func (e *Engine) nextTimerAt() (float64, bool) {
+	for e.timers.len() > 0 {
+		top := e.timers.peek()
+		if top.n.cancelled {
+			e.timers.pop()
+			e.cancelledTimers--
+			e.releaseTimer(top.n)
+			continue
+		}
+		return top.at, true
+	}
+	return 0, false
+}
+
+// fireTimers dispatches every live timer due at or before now, in (time,
+// creation) order. Callbacks may schedule further timers; those are honoured
+// too if already due.
+func (e *Engine) fireTimers() {
+	for e.timers.len() > 0 {
+		top := e.timers.peek()
+		if top.n.cancelled {
+			e.timers.pop()
+			e.cancelledTimers--
+			e.releaseTimer(top.n)
+			continue
+		}
+		if top.at > e.now+timeEps {
+			return
+		}
+		e.timers.pop()
+		fn := top.n.fn
+		e.releaseTimer(top.n)
+		fn()
+	}
+}
+
+// maybeCompactTimers sweeps cancelled entries out of the heap once they
+// outnumber live ones. The threshold keeps the sweep amortized O(1) per
+// cancellation while bounding the heap at twice its live size.
+func (e *Engine) maybeCompactTimers() {
+	if e.timers.len() < 32 || e.cancelledTimers*2 <= e.timers.len() {
+		return
+	}
+	e.timers.filter(func(en timerEntry) bool {
+		if en.n.cancelled {
+			e.releaseTimer(en.n)
+			return false
+		}
+		return true
+	})
+	e.cancelledTimers = 0
+}
