@@ -26,6 +26,8 @@
 package chopin
 
 import (
+	"io"
+
 	"chopin/internal/cpuarch"
 	"chopin/internal/exper"
 	"chopin/internal/gc"
@@ -35,6 +37,7 @@ import (
 	"chopin/internal/latency"
 	"chopin/internal/lbo"
 	"chopin/internal/nominal"
+	"chopin/internal/obs"
 	"chopin/internal/trace"
 	"chopin/internal/workload"
 )
@@ -115,6 +118,18 @@ type (
 	ResultCache = exper.Cache
 	// CacheMode selects how an engine uses its ResultCache.
 	CacheMode = exper.CacheMode
+	// Recorder receives structured run telemetry (GC phases, pacer stalls,
+	// job lifecycle, cache accounting). Set one on RunConfig.Recorder,
+	// SweepOptions.Recorder or EngineOptions.Recorder; NewJSONLRecorder
+	// builds the standard file sink.
+	Recorder = obs.Recorder
+	// TelemetryEvent is one structured telemetry record.
+	TelemetryEvent = obs.Event
+	// TelemetryKind classifies a TelemetryEvent.
+	TelemetryKind = obs.Kind
+	// JSONLRecorder streams telemetry as one JSON object per line — the
+	// format cmd/obsreport summarizes.
+	JSONLRecorder = obs.JSONL
 )
 
 // Cache modes: CacheReadWrite resumes from cached results; CacheWriteOnly
@@ -131,6 +146,26 @@ func NewEngine(opt EngineOptions) *Engine { return exper.New(opt) }
 // dir, for EngineOptions.Cache.
 func OpenResultCache(dir string, mode CacheMode) (*ResultCache, error) {
 	return exper.OpenCache(dir, mode)
+}
+
+// NopRecorder is the disabled Recorder: it costs one boolean check on every
+// potential emission and records nothing.
+var NopRecorder = obs.Nop
+
+// NewJSONLRecorder builds a Recorder that streams events to w as JSON lines.
+// Call Close to flush before discarding it (Close does not close w).
+func NewJSONLRecorder(w io.Writer) *JSONLRecorder { return obs.NewJSONL(w) }
+
+// DecodeTelemetry reads a JSONL telemetry stream, calling fn per event.
+func DecodeTelemetry(r io.Reader, fn func(TelemetryEvent) error) error {
+	return obs.DecodeJSONL(r, fn)
+}
+
+// WithRecorder returns opt with the telemetry recorder attached — the
+// public-API way to observe every run a sweep launches.
+func WithRecorder(opt SweepOptions, r Recorder) SweepOptions {
+	opt.Recorder = r
+	return opt
 }
 
 // RandomizedSetups draws n experimental environments — measuring across them

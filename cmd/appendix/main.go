@@ -41,6 +41,7 @@ func main() {
 
 	eng, err := cli.Build(os.Stderr, "appendix: ")
 	check(err)
+	defer cli.CloseOrWarn(os.Stderr, "appendix: ")
 
 	ds, err := exper.SelectBenchmarks(*benchList)
 	check(err)

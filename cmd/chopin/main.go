@@ -98,6 +98,7 @@ func main() {
 
 	eng, err := cli.Build(os.Stderr, "chopin: ")
 	check(err)
+	defer cli.CloseOrWarn(os.Stderr, "chopin: ")
 	opt := harness.Options{Events: *events, Seed: *seed, Engine: eng}
 
 	if *printStat {

@@ -50,6 +50,7 @@ func main() {
 
 	eng, err := cli.Build(os.Stderr, "latency: ")
 	check(err)
+	defer cli.CloseOrWarn(os.Stderr, "latency: ")
 
 	factors, err := exper.ParseFactors(*factorsFlag)
 	check(err)

@@ -44,6 +44,7 @@ func main() {
 
 	eng, err := cli.Build(os.Stderr, "lbo: ")
 	check(err)
+	defer cli.CloseOrWarn(os.Stderr, "lbo: ")
 	defer func() { fmt.Fprintf(os.Stderr, "lbo: %s\n", exper.Summary(eng.Stats())) }()
 
 	opt := harness.Options{

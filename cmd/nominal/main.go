@@ -41,6 +41,7 @@ func main() {
 
 	eng, err := cli.Build(os.Stderr, "nominal: ")
 	check(err)
+	defer cli.CloseOrWarn(os.Stderr, "nominal: ")
 
 	switch {
 	case *describe:

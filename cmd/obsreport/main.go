@@ -1,0 +1,232 @@
+// Command obsreport summarizes a telemetry stream captured with the
+// -telemetry flag of the experiment commands: per-collector GC phase-time
+// breakdowns, pacer-stall histograms, cache accounting and job totals,
+// rendered as aligned ASCII tables.
+//
+// Usage:
+//
+//	lbo -bench lusearch -telemetry run.jsonl
+//	obsreport run.jsonl
+//	obsreport -collector Shenandoah run.jsonl   # restrict to one collector
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"chopin/internal/obs"
+	"chopin/internal/report"
+)
+
+type phaseKey struct {
+	collector string
+	phase     string
+}
+
+type phaseAgg struct {
+	count  int
+	stwNS  float64
+	cpuNS  float64
+	reclMB float64
+}
+
+type collectorAgg struct {
+	pauseNS   float64
+	pauses    int
+	stallNS   float64
+	stalls    int
+	stallHist *obs.Histogram
+	degens    int
+	ooms      int
+}
+
+type jobAgg struct {
+	started, finished, failed int
+	hits, misses              int
+	wallNS, cpuNS             float64
+	minHeaps                  int
+}
+
+func main() {
+	var (
+		collectorFilter = flag.String("collector", "", "restrict the report to one collector")
+		benchFilter     = flag.String("bench", "", "restrict the report to one benchmark")
+	)
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	name := "stdin"
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		check(err)
+		defer f.Close()
+		in = f
+		name = flag.Arg(0)
+	}
+
+	phases := map[phaseKey]*phaseAgg{}
+	cols := map[string]*collectorAgg{}
+	jobs := jobAgg{}
+	runs := map[string]bool{}
+	var total, skipped int
+
+	col := func(name string) *collectorAgg {
+		c := cols[name]
+		if c == nil {
+			c = &collectorAgg{stallHist: obs.NewHistogram(obs.StallBoundsNS)}
+			cols[name] = c
+		}
+		return c
+	}
+
+	err := obs.DecodeJSONL(in, func(e obs.Event) error {
+		total++
+		if *collectorFilter != "" && e.Collector != *collectorFilter {
+			skipped++
+			return nil
+		}
+		if *benchFilter != "" && e.Benchmark != *benchFilter {
+			skipped++
+			return nil
+		}
+		if e.Run != "" {
+			runs[e.Run] = true
+		}
+		switch e.Kind {
+		case obs.KindGCPhaseEnd:
+			k := phaseKey{e.Collector, e.Phase}
+			p := phases[k]
+			if p == nil {
+				p = &phaseAgg{}
+				phases[k] = p
+			}
+			p.count++
+			p.stwNS += e.DurNS
+			p.cpuNS += e.CPUNS
+			p.reclMB += e.Value / (1 << 20)
+		case obs.KindGCPause:
+			c := col(e.Collector)
+			c.pauseNS += e.DurNS
+			c.pauses++
+		case obs.KindPacerStall:
+			c := col(e.Collector)
+			c.stallNS += e.DurNS
+			c.stalls++
+			c.stallHist.Observe(e.DurNS)
+		case obs.KindDegenerateGC:
+			col(e.Collector).degens++
+		case obs.KindOOM:
+			col(e.Collector).ooms++
+		case obs.KindJobStart:
+			jobs.started++
+		case obs.KindJobFinish:
+			if e.Err != "" {
+				jobs.failed++
+			} else {
+				jobs.finished++
+			}
+			jobs.wallNS += e.DurNS
+			jobs.cpuNS += e.CPUNS
+		case obs.KindCacheHit:
+			jobs.hits++
+		case obs.KindCacheMiss:
+			jobs.misses++
+		case obs.KindMinHeap:
+			jobs.minHeaps++
+		}
+		return nil
+	})
+	if err != nil {
+		// A truncated tail (killed run) still yields a usable prefix; report
+		// what decoded and say why it stopped.
+		fmt.Fprintf(os.Stderr, "obsreport: stream ended early: %v\n", err)
+	}
+
+	fmt.Printf("telemetry: %s — %d events", name, total)
+	if skipped > 0 {
+		fmt.Printf(" (%d filtered out)", skipped)
+	}
+	if len(runs) > 0 {
+		fmt.Printf(", %d runs", len(runs))
+	}
+	fmt.Println()
+
+	if len(phases) > 0 {
+		fmt.Println("\nGC phase breakdown (telemetry sums reproduce the run's log totals):")
+		t := report.NewTable("collector", "phase", "count", "stw_ms", "gc_cpu_ms", "reclaimed_mb")
+		for _, k := range sortedPhaseKeys(phases) {
+			p := phases[k]
+			t.AddRowf(k.collector, k.phase, p.count, p.stwNS/1e6, p.cpuNS/1e6, p.reclMB)
+		}
+		t.Render(os.Stdout)
+	}
+
+	if len(cols) > 0 {
+		fmt.Println("\nPer-collector STW and pacing:")
+		t := report.NewTable("collector", "pauses", "stw_ms", "stalls", "stall_ms", "degenerations", "ooms")
+		for _, name := range sortedKeys(cols) {
+			c := cols[name]
+			t.AddRowf(name, c.pauses, c.pauseNS/1e6, c.stalls, c.stallNS/1e6, c.degens, c.ooms)
+		}
+		t.Render(os.Stdout)
+		for _, name := range sortedKeys(cols) {
+			c := cols[name]
+			if c.stalls == 0 {
+				continue
+			}
+			fmt.Printf("\n%s pacer-stall histogram (%d stalls, %.2fms total):\n",
+				name, c.stalls, c.stallNS/1e6)
+			fmt.Print(c.stallHist.String())
+		}
+	}
+
+	if jobs.started+jobs.hits+jobs.misses+jobs.minHeaps > 0 {
+		fmt.Println("\nEngine jobs and cache:")
+		t := report.NewTable("metric", "value")
+		t.AddRowf("jobs started", jobs.started)
+		t.AddRowf("jobs finished", jobs.finished)
+		t.AddRowf("jobs failed", jobs.failed)
+		t.AddRowf("cache hits", jobs.hits)
+		t.AddRowf("cache misses", jobs.misses)
+		if looked := jobs.hits + jobs.misses; looked > 0 {
+			t.AddRow("cache hit rate", fmt.Sprintf("%.1f%%", 100*float64(jobs.hits)/float64(looked)))
+		}
+		t.AddRowf("min-heap measurements", jobs.minHeaps)
+		t.AddRowf("job wall total (s)", jobs.wallNS/1e9)
+		t.AddRowf("job sim-cpu total (s)", jobs.cpuNS/1e9)
+		t.Render(os.Stdout)
+	}
+}
+
+func sortedPhaseKeys(m map[phaseKey]*phaseAgg) []phaseKey {
+	out := make([]phaseKey, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].collector != out[j].collector {
+			return out[i].collector < out[j].collector
+		}
+		return out[i].phase < out[j].phase
+	})
+	return out
+}
+
+func sortedKeys(m map[string]*collectorAgg) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obsreport: %v\n", err)
+		os.Exit(1)
+	}
+}

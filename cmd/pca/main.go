@@ -35,6 +35,7 @@ func main() {
 
 	eng, err := cli.Build(os.Stderr, "pca: ")
 	check(err)
+	defer cli.CloseOrWarn(os.Stderr, "pca: ")
 
 	opt := nominal.Options{Events: *events, Seed: *seed, SkipSizeVariants: *quick, Run: eng.Run}
 	var chars []*nominal.Characterization

@@ -88,6 +88,7 @@ func main() {
 	}
 	eng, err := cli.Build(os.Stderr, "runbms: ")
 	check(err)
+	defer cli.CloseOrWarn(os.Stderr, "runbms: ")
 
 	// One engine for the whole plan: a single work-stealing pool bounds
 	// parallelism across experiments, and min-heap measurements shared by

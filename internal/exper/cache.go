@@ -2,8 +2,10 @@ package exper
 
 import (
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"chopin/internal/persist"
 )
@@ -39,7 +41,25 @@ func OpenCache(dir string, mode CacheMode) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("exper: opening cache: %w", err)
 	}
+	sweepTemps(dir)
 	return &Cache{dir: dir, mode: mode}, nil
+}
+
+// sweepTemps removes write-then-rename debris a killed run leaves behind. A
+// *.tmp file is never a valid archive — the rename that would have published
+// it did not happen — so deleting it on open is always safe, and keeps the
+// orphans from accumulating under long-lived cache directories. Best effort:
+// a file another process races us for is someone else's problem.
+func sweepTemps(dir string) {
+	_ = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".tmp") {
+			os.Remove(path)
+		}
+		return nil
+	})
 }
 
 // Dir returns the cache's root directory.

@@ -1,0 +1,120 @@
+package exper
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"chopin/internal/persist"
+)
+
+func testRecord(k Key) *persist.InvocationRecord {
+	return &persist.InvocationRecord{
+		Key: string(k), Workload: "lusearch", Collector: "G1",
+		HeapMB: 100, OOM: true, // OOM-only record keeps the fixture tiny
+	}
+}
+
+// TestOpenCacheSweepsOrphanedTemps kills-and-restarts in miniature: a run
+// that dies between write and rename leaves *.tmp debris that no future
+// rename will ever publish. Opening the cache must clear it while leaving
+// completed archives untouched.
+func TestOpenCacheSweepsOrphanedTemps(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key("abcdef0123456789")
+	if err := c.putInvocation(k, testRecord(k)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Plant debris at both levels a torn write can leave it.
+	orphans := []string{
+		c.path(k) + ".tmp",
+		filepath.Join(dir, "ff", "fedcba.json.tmp"),
+		filepath.Join(dir, "stray.tmp"),
+	}
+	for _, p := range orphans {
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(`{"version":2,"ki`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c2, err := OpenCache(dir, ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range orphans {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("orphan %s survived reopen", p)
+		}
+	}
+	rec, ok := c2.getInvocation(k)
+	if !ok || rec.Key != string(k) {
+		t.Fatalf("completed archive lost by the sweep: ok=%v rec=%+v", ok, rec)
+	}
+}
+
+// TestTruncatedArchiveIsMiss writes a valid archive, tears it at every
+// prefix length that could arise from a partial write, and checks each torn
+// state registers as a cache miss the job layer can heal by re-running —
+// never an error, never a bogus hit.
+func TestTruncatedArchiveIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key("0011223344556677")
+	if err := c.putInvocation(k, testRecord(k)); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(c.path(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.getInvocation(k); !ok {
+		t.Fatal("intact archive should hit")
+	}
+
+	for _, n := range []int{0, 1, len(whole) / 2, len(whole) - 1} {
+		if err := os.WriteFile(c.path(k), whole[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := c.getInvocation(k); ok {
+			t.Fatalf("archive truncated to %d bytes served as a hit", n)
+		}
+	}
+
+	// The miss is recoverable: a re-run's put repairs the entry in place.
+	if err := c.putInvocation(k, testRecord(k)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.getInvocation(k); !ok {
+		t.Fatal("rewritten archive should hit again")
+	}
+}
+
+// TestWrongKeyArchiveIsMiss guards the content-address check: an archive
+// whose embedded key disagrees with its filename (say, a hand-copied file)
+// must not be served for the key it squats on.
+func TestWrongKeyArchiveIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key("8899aabbccddeeff")
+	other := Key("1122334455667788")
+	if err := persist.SaveInvocation(c.path(k), testRecord(other)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.getInvocation(k); ok {
+		t.Fatal("archive with mismatched key served as a hit")
+	}
+}

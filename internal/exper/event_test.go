@@ -1,0 +1,118 @@
+package exper
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// countingWriter fails the test if Write is ever entered concurrently — the
+// direct detection of unserialized emission, independent of the race
+// detector.
+type countingWriter struct {
+	t      *testing.T
+	mu     sync.Mutex
+	active bool
+	buf    bytes.Buffer
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	if w.active {
+		w.mu.Unlock()
+		w.t.Error("concurrent Write on the progress writer")
+		return len(p), nil
+	}
+	w.active = true
+	w.mu.Unlock()
+
+	n, err := w.buf.Write(p)
+
+	w.mu.Lock()
+	w.active = false
+	w.mu.Unlock()
+	return n, err
+}
+
+// TestProgressConcurrent hammers one Progress observer from many goroutines,
+// as pool workers do. Under -race (make tier1) this proves the closure's
+// internal tallies are serialized; the assertions prove the output is too:
+// every line must be whole and the final tallies exact.
+func TestProgressConcurrent(t *testing.T) {
+	w := &countingWriter{t: t}
+	obs := Progress(w, "test: ")
+
+	const workers = 16
+	const perWorker = 50
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				kind := JobFinished
+				switch j % 3 {
+				case 1:
+					kind = JobCacheHit
+				case 2:
+					kind = JobFailed
+				}
+				obs(Event{
+					Kind:      kind,
+					Benchmark: fmt.Sprintf("bench-%d", i),
+					Collector: "G1",
+					HeapMB:    100,
+					Seed:      uint64(j),
+					WallNS:    1e9,
+					CPUNS:     2e9,
+					Err:       "boom",
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	const total = workers * perWorker
+	var lines, finished, cached, failed int
+	var wantRun, wantHits int // mirror the emission loop's kind schedule
+	for j := 0; j < perWorker; j++ {
+		if j%3 == 1 {
+			wantHits += workers
+		} else {
+			wantRun += workers
+		}
+	}
+	sc := bufio.NewScanner(&w.buf)
+	for sc.Scan() {
+		line := sc.Text()
+		lines++
+		if !strings.HasPrefix(line, "test: [") {
+			t.Fatalf("torn or interleaved line: %q", line)
+		}
+		switch {
+		case strings.Contains(line, "FAILED: boom"):
+			failed++
+		case strings.Contains(line, "(cache)"):
+			cached++
+		default:
+			finished++
+		}
+		// The final line must carry the complete tallies.
+		if lines == total {
+			want := fmt.Sprintf("[%d run, %d cached]", wantRun, wantHits)
+			if !strings.Contains(line, want) {
+				t.Fatalf("final tally = %q, want %s", line, want)
+			}
+		}
+	}
+	if lines != total {
+		t.Fatalf("emitted %d lines, want %d", lines, total)
+	}
+	if cached != wantHits || finished+failed != wantRun {
+		t.Fatalf("lines by kind: finished=%d cached=%d failed=%d, want run=%d cached=%d",
+			finished, cached, failed, wantRun, wantHits)
+	}
+}

@@ -27,7 +27,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"chopin/internal/obs"
 	"chopin/internal/persist"
 	"chopin/internal/workload"
 )
@@ -48,6 +50,10 @@ type Options struct {
 	// Observer receives progress events; it must be safe for concurrent
 	// use (Progress is). nil disables events.
 	Observer func(Event)
+	// Recorder receives structured telemetry (job lifecycle, cache
+	// accounting, and — injected per job — the run's GC and scheduler
+	// events, stamped with the job key). nil disables telemetry.
+	Recorder obs.Recorder
 }
 
 // Engine executes jobs. One engine should be shared across everything a
@@ -57,6 +63,7 @@ type Engine struct {
 	cache   *Cache
 	memoize bool
 	obs     func(Event)
+	rec     obs.Recorder
 
 	mu        sync.Mutex
 	inflight  map[Key]*call
@@ -121,6 +128,7 @@ func New(opt Options) *Engine {
 		cache:     opt.Cache,
 		memoize:   opt.Memoize,
 		obs:       opt.Observer,
+		rec:       obs.Or(opt.Recorder),
 		inflight:  map[Key]*call{},
 		memo:      map[Key]outcome{},
 		minMemo:   map[Key]float64{},
@@ -150,6 +158,26 @@ func (e *Engine) emit(ev Event) {
 	if e.obs != nil {
 		e.obs(ev)
 	}
+}
+
+// recordJob emits an engine-level telemetry event stamped with job identity.
+// Engine events carry host wall-clock timestamps (jobs have no shared virtual
+// clock); Value is the job's heap size in MB.
+func (e *Engine) recordJob(kind obs.Kind, j Job, k Key, dur, cpu float64, errStr string) {
+	if !e.rec.Enabled() {
+		return
+	}
+	e.rec.Record(obs.Event{
+		Kind:      kind,
+		TNS:       time.Now().UnixNano(),
+		Run:       string(k),
+		Benchmark: j.Desc.Name,
+		Collector: j.Cfg.Collector.String(),
+		DurNS:     dur,
+		CPUNS:     cpu,
+		Value:     j.Cfg.HeapMB,
+		Err:       errStr,
+	})
 }
 
 func jobEvent(kind EventKind, j Job) Event {
@@ -221,6 +249,7 @@ func (e *Engine) execute(job Job) outcome {
 		if rec, ok := e.cache.getInvocation(k); ok {
 			atomic.AddInt64(&e.cacheHits, 1)
 			e.emit(jobEvent(JobCacheHit, job))
+			e.recordJob(obs.KindCacheHit, job, k, 0, 0, "")
 			if rec.OOM {
 				return outcome{nil, &workload.ErrOutOfMemory{
 					Workload: job.Desc.Name, HeapMB: job.Cfg.HeapMB, Kind: job.Cfg.Collector,
@@ -228,14 +257,35 @@ func (e *Engine) execute(job Job) outcome {
 			}
 			return outcome{rec.Result, nil}
 		}
+		e.recordJob(obs.KindCacheMiss, job, k, 0, 0, "")
+	}
+
+	// Inject the telemetry stream into the run, stamped with the job key so
+	// events from concurrently executing invocations stay attributable. A
+	// recorder already set on the config wins (and still gets stamped).
+	if r := obs.Or(job.Cfg.Recorder); r.Enabled() {
+		job.Cfg.Recorder = obs.WithRun(r, string(k), job.Desc.Name, job.Cfg.Collector.String())
+	} else if e.rec.Enabled() {
+		job.Cfg.Recorder = obs.WithRun(e.rec, string(k), job.Desc.Name, job.Cfg.Collector.String())
 	}
 
 	e.emit(jobEvent(JobQueued, job))
 	done := make(chan outcome, 1)
 	e.pool.submit(func() {
 		e.emit(jobEvent(JobStarted, job))
+		e.recordJob(obs.KindJobStart, job, k, 0, 0, "")
+		hostStart := time.Now()
 		res, err := workload.Run(job.Desc, job.Cfg)
 		atomic.AddInt64(&e.executed, 1)
+		if err != nil {
+			e.recordJob(obs.KindJobFinish, job, k, float64(time.Since(hostStart)), 0, err.Error())
+		} else {
+			var cpu float64
+			for _, it := range res.Iterations {
+				cpu += it.CPUNS
+			}
+			e.recordJob(obs.KindJobFinish, job, k, float64(time.Since(hostStart)), cpu, "")
+		}
 		done <- outcome{res, err}
 	})
 	out := <-done

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"chopin/internal/gc"
 	"chopin/internal/nominal"
+	"chopin/internal/obs"
 	"chopin/internal/persist"
 	"chopin/internal/workload"
 )
@@ -79,8 +81,10 @@ func (e *Engine) minHeap(k Key, d *workload.Descriptor, p MinHeapParams) (float6
 		if rec, ok := e.cache.getMinHeap(k); ok {
 			atomic.AddInt64(&e.minHeapCacheHits, 1)
 			e.emit(minHeapEvent(MinHeapCacheHit, d, k, rec.MinHeapMB))
+			e.recordMinHeap(obs.KindCacheHit, d, k, rec.MinHeapMB)
 			return rec.MinHeapMB, nil
 		}
+		e.recordMinHeap(obs.KindCacheMiss, d, k, 0)
 	}
 
 	e.emit(minHeapEvent(MinHeapStarted, d, k, 0))
@@ -108,7 +112,20 @@ func (e *Engine) minHeap(k Key, d *workload.Descriptor, p MinHeapParams) (float6
 		}
 	}
 	e.emit(minHeapEvent(MinHeapFinished, d, k, min))
+	e.recordMinHeap(obs.KindMinHeap, d, k, min)
 	return min, nil
+}
+
+// recordMinHeap emits a telemetry event for min-heap measurement accounting;
+// Value carries the measured bound in MB (zero before measurement).
+func (e *Engine) recordMinHeap(kind obs.Kind, d *workload.Descriptor, k Key, mb float64) {
+	if !e.rec.Enabled() {
+		return
+	}
+	e.rec.Record(obs.Event{
+		Kind: kind, TNS: time.Now().UnixNano(),
+		Run: string(k), Benchmark: d.Name, Value: mb,
+	})
 }
 
 // validateMinHeap confirms the searched bound completes under every

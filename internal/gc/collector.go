@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"chopin/internal/heap"
+	"chopin/internal/obs"
 	"chopin/internal/sim"
 	"chopin/internal/trace"
 )
@@ -23,6 +24,7 @@ type Collector struct {
 	eng  *sim.Engine
 	heap *heap.Heap
 	log  *trace.Log
+	rec  obs.Recorder
 
 	mutators []*sim.Thread
 
@@ -69,7 +71,7 @@ func New(p Params, eng *sim.Engine, h *heap.Heap, log *trace.Log) *Collector {
 	if p.STWThreads < 1 {
 		p.STWThreads = 1
 	}
-	c := &Collector{p: p, eng: eng, heap: h, log: log, trigger: p.ConcTriggerFrac}
+	c := &Collector{p: p, eng: eng, heap: h, log: log, rec: obs.Nop, trigger: p.ConcTriggerFrac}
 	for i := 0; i < p.STWThreads; i++ {
 		c.stwWorkers = append(c.stwWorkers, eng.NewThread(fmt.Sprintf("gc-stw-%d", i)))
 	}
@@ -82,6 +84,37 @@ func New(p Params, eng *sim.Engine, h *heap.Heap, log *trace.Log) *Collector {
 
 // Params returns the collector's configuration.
 func (c *Collector) Params() Params { return c.p }
+
+// SetRecorder attaches a telemetry Recorder (nil restores the no-op). Phase
+// events are emitted through addEvent alongside the trace.Log entry they
+// mirror, so per-kind telemetry sums reproduce the log's totals exactly.
+func (c *Collector) SetRecorder(r obs.Recorder) { c.rec = obs.Or(r) }
+
+// addEvent records a completed collection phase in the trace log and, when
+// telemetry is live, emits the matching gc-phase-end event. The event copies
+// the log entry's fields verbatim (wall pause, GC CPU, bytes reclaimed), so
+// summing telemetry by kind reconstructs TotalPauseNS and TotalGCCPUNS.
+func (c *Collector) addEvent(ev trace.GCEvent) {
+	c.log.AddEvent(ev)
+	if c.rec.Enabled() {
+		c.rec.Record(obs.Event{
+			Kind:  obs.KindGCPhaseEnd,
+			TNS:   ev.End,
+			Phase: ev.Kind.String(),
+			DurNS: ev.PauseNS,
+			CPUNS: ev.CPUNS,
+			Value: ev.Reclaimed,
+			Aux:   ev.UsedAfter,
+		})
+	}
+}
+
+// phaseStart emits a gc-phase-start event when telemetry is live.
+func (c *Collector) phaseStart(kind trace.GCKind) {
+	if c.rec.Enabled() {
+		c.rec.Record(obs.Event{Kind: obs.KindGCPhaseStart, TNS: c.eng.Now(), Phase: kind.String()})
+	}
+}
 
 // Degenerations returns how many times a concurrent cycle lost the race and
 // fell back to a stop-the-world full collection.
@@ -146,6 +179,9 @@ func (c *Collector) Alloc(bytes float64, done func(ok bool)) {
 	if c.cycle != nil && c.p.Pacer {
 		if stall := c.pacerStall(); stall > 0 {
 			c.log.AddStall(stall)
+			if c.rec.Enabled() {
+				c.rec.Record(obs.Event{Kind: obs.KindPacerStall, TNS: c.eng.Now(), DurNS: stall})
+			}
 			c.eng.After(stall, func() { c.allocAfterStall(bytes, done) })
 			return
 		}
@@ -228,6 +264,9 @@ func (c *Collector) handleFailure(bytes float64, done func(bool)) {
 				return
 			}
 			c.oom = true
+			if c.rec.Enabled() {
+				c.rec.Record(obs.Event{Kind: obs.KindOOM, TNS: c.eng.Now(), Value: bytes, Err: "oom"})
+			}
 			done(false)
 		})
 	}
@@ -252,6 +291,9 @@ func (c *Collector) handleFailure(bytes float64, done func(bool)) {
 func (c *Collector) degenerationsIf(kind trace.GCKind) {
 	if kind == trace.GCDegenerate {
 		c.degenerations++
+		if c.rec.Enabled() {
+			c.rec.Record(obs.Event{Kind: obs.KindDegenerateGC, TNS: c.eng.Now()})
+		}
 	}
 }
 
@@ -272,6 +314,7 @@ func (c *Collector) adaptTrigger(delta float64) {
 
 // stwYoung performs a stop-the-world young collection.
 func (c *Collector) stwYoung(after func()) {
+	c.phaseStart(trace.GCYoung)
 	st := c.heap.CollectYoung()
 	serial := c.p.PauseFloorNS +
 		c.p.MarkNsPerByte*st.ScannedBytes + c.p.CopyNsPerByte*st.CopiedBytes
@@ -285,6 +328,7 @@ func (c *Collector) stwYoung(after func()) {
 // stwFull performs a stop-the-world full collection (or a degenerate one for
 // a concurrent collector that lost the race).
 func (c *Collector) stwFull(kind trace.GCKind, after func()) {
+	c.phaseStart(kind)
 	st := c.heap.CollectFull()
 	serial := c.p.PauseFloorNS +
 		c.p.MarkNsPerByte*st.ScannedBytes + c.p.CopyNsPerByte*st.CopiedBytes
@@ -328,6 +372,7 @@ func (c *Collector) maybeStartMinorCycle() {
 // startCycle snapshots the heap, takes the initial tiny pause, and launches
 // concurrent workers.
 func (c *Collector) startCycle(minor bool) {
+	c.phaseStart(trace.GCConcurrent)
 	snap, traced := c.heap.SnapshotForConcurrent()
 	if minor {
 		traced = c.heap.Young() * 0.5
@@ -404,7 +449,7 @@ func (c *Collector) tryFinishCycle(cy *cycleState) {
 			UsedAfter: c.heap.Used(),
 			LiveAfter: c.heap.TargetLive(),
 		}
-		c.log.AddEvent(ev)
+		c.addEvent(ev)
 	})
 }
 
@@ -424,7 +469,7 @@ func (c *Collector) cancelCycle() {
 			w.Abandon()
 		}
 	}
-	c.log.AddEvent(trace.GCEvent{
+	c.addEvent(trace.GCEvent{
 		Kind:      trace.GCConcurrent,
 		Start:     cy.start,
 		End:       c.eng.Now(),
@@ -471,6 +516,9 @@ func (c *Collector) endPause(blocked []*sim.Thread, cpu float64, onEnd func(cpu,
 	now := c.eng.Now()
 	wall := float64(now - c.pauseStart)
 	c.log.AddPause(trace.Pause{Start: c.pauseStart, End: now})
+	if c.rec.Enabled() {
+		c.rec.Record(obs.Event{Kind: obs.KindGCPause, TNS: now, DurNS: wall})
+	}
 	c.inPause = false
 	for _, m := range blocked {
 		m.Unblock()
@@ -492,7 +540,7 @@ func (c *Collector) endPause(blocked []*sim.Thread, cpu float64, onEnd func(cpu,
 
 // logEvent records a completed STW collection.
 func (c *Collector) logEvent(kind trace.GCKind, st heap.CollectStats, cpu, wall float64) {
-	c.log.AddEvent(trace.GCEvent{
+	c.addEvent(trace.GCEvent{
 		Kind:      kind,
 		Start:     c.eng.Now() - int64(wall),
 		End:       c.eng.Now(),

@@ -76,12 +76,42 @@ var linePattern = regexp.MustCompile(
 var stallPattern = regexp.MustCompile(
 	`^\[\d+\.\d+s\]\[info\]\[gc\] Allocation stall total (\d+\.\d+)ms$`)
 
+// Result is what a tolerant parse recovers from unified-logging text.
+type Result struct {
+	Log        *trace.Log
+	CapacityMB float64
+	// Malformed counts lines that claimed to be GC output but could not be
+	// decoded — truncated event lines, unknown labels, garbled fields. They
+	// are skipped, not fatal: a log cut off by a crash should still yield
+	// every event before the tear.
+	Malformed int
+}
+
+// looksLikeGC reports whether a line that failed the event and stall
+// patterns nevertheless claims to carry GC telemetry — the signature a
+// truncated or corrupted line retains. Interleaved lines from other
+// unified-logging tags return false and are skipped silently.
+func looksLikeGC(line string) bool {
+	return (strings.Contains(line, "][gc]") && strings.Contains(line, "GC(")) ||
+		strings.Contains(line, "Allocation stall")
+}
+
 // Parse reconstructs a trace.Log from unified-logging text. Unknown lines
-// are skipped (real logs interleave other tags); malformed event fields are
-// an error.
+// are skipped (real logs interleave other tags), and malformed GC lines are
+// tolerated and counted rather than fatal; use ParseAll to see the count.
 func Parse(text string) (*trace.Log, float64, error) {
-	l := &trace.Log{}
-	var capacityMB float64
+	r, err := ParseAll(text)
+	if err != nil {
+		return nil, 0, err
+	}
+	return r.Log, r.CapacityMB, nil
+}
+
+// ParseAll is Parse with the malformed-line count exposed. The only error is
+// a scanner failure (a line exceeding the 1MB buffer); everything else
+// degrades to skipped lines so a truncated log still parses.
+func ParseAll(text string) (Result, error) {
+	res := Result{Log: &trace.Log{}}
 	sc := bufio.NewScanner(strings.NewReader(text))
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -92,18 +122,23 @@ func Parse(text string) (*trace.Log, float64, error) {
 		if m := stallPattern.FindStringSubmatch(line); m != nil {
 			v, err := strconv.ParseFloat(m[1], 64)
 			if err != nil {
-				return nil, 0, fmt.Errorf("gclog: bad stall %q: %w", line, err)
+				res.Malformed++
+				continue
 			}
-			l.StallNS = v * 1e6
+			res.Log.StallNS = v * 1e6
 			continue
 		}
 		m := linePattern.FindStringSubmatch(line)
 		if m == nil {
+			if looksLikeGC(line) {
+				res.Malformed++
+			}
 			continue // interleaved non-GC line
 		}
 		kind, ok := kinds[m[2]]
 		if !ok {
-			return nil, 0, fmt.Errorf("gclog: unknown GC label %q", m[2])
+			res.Malformed++
+			continue
 		}
 		endSec, err1 := strconv.ParseFloat(m[1], 64)
 		beforeMB, err2 := strconv.ParseFloat(m[3], 64)
@@ -111,12 +146,12 @@ func Parse(text string) (*trace.Log, float64, error) {
 		capMB, err4 := strconv.ParseFloat(m[5], 64)
 		pauseMS, err5 := strconv.ParseFloat(m[6], 64)
 		cpuMS, err6 := strconv.ParseFloat(m[7], 64)
-		for _, err := range []error{err1, err2, err3, err4, err5, err6} {
-			if err != nil {
-				return nil, 0, fmt.Errorf("gclog: bad event line %q: %w", line, err)
-			}
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil ||
+			err5 != nil || err6 != nil {
+			res.Malformed++
+			continue
 		}
-		capacityMB = capMB
+		res.CapacityMB = capMB
 		end := int64(endSec * 1e9)
 		ev := trace.GCEvent{
 			Kind:      kind,
@@ -127,15 +162,15 @@ func Parse(text string) (*trace.Log, float64, error) {
 			Reclaimed: (beforeMB - afterMB) * mb,
 			UsedAfter: afterMB * mb,
 		}
-		l.AddEvent(ev)
+		res.Log.AddEvent(ev)
 		if ev.PauseNS > 0 {
-			l.AddPause(trace.Pause{Start: ev.Start, End: ev.End})
+			res.Log.AddPause(trace.Pause{Start: ev.Start, End: ev.End})
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, 0, fmt.Errorf("gclog: %w", err)
+		return Result{}, fmt.Errorf("gclog: %w", err)
 	}
-	return l, capacityMB, nil
+	return res, nil
 }
 
 // Summarize produces the human top-line a GC log reader looks for first.

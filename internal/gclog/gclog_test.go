@@ -91,10 +91,84 @@ func TestParseSkipsForeignLines(t *testing.T) {
 	}
 }
 
-func TestParseRejectsUnknownLabel(t *testing.T) {
-	text := "[0.100s][info][gc] GC(0) Pause Shiny (Experimental) 31M->12M(128M) 1.000ms cpu=8.000ms\n"
-	if _, _, err := Parse(text); err == nil {
-		t.Fatal("unknown label should error")
+func TestParseCountsUnknownLabel(t *testing.T) {
+	// An unrecognized GC description is a malformed line, not a fatal parse:
+	// a reader pointed at a foreign JDK's log should lose that event only.
+	text := "[0.100s][info][gc] GC(0) Pause Shiny (Experimental) 31M->12M(128M) 1.000ms cpu=8.000ms\n" +
+		"[0.200s][info][gc] GC(1) Pause Young (Normal) 31M->12M(128M) 1.000ms cpu=8.000ms\n"
+	r, err := ParseAll(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Malformed != 1 {
+		t.Fatalf("malformed = %d, want 1", r.Malformed)
+	}
+	if len(r.Log.Events) != 1 || r.Log.Events[0].Kind != trace.GCYoung {
+		t.Fatalf("surviving events = %+v, want the one young GC", r.Log.Events)
+	}
+}
+
+// TestCorruptedLogRoundTrip formats a real log, damages it the ways real
+// logs get damaged — truncated tail, garbage mid-stream, a torn line — and
+// checks the parse recovers every undamaged event with an exact count of the
+// damage.
+func TestCorruptedLogRoundTrip(t *testing.T) {
+	orig := sampleLog()
+	text := Format(orig, 128)
+	lines := strings.Split(strings.TrimSuffix(text, "\n"), "\n")
+	// sampleLog renders 3 event lines + 1 stall line.
+	if len(lines) != 4 {
+		t.Fatalf("sample rendered %d lines, want 4", len(lines))
+	}
+
+	corrupted := []string{
+		lines[0],                    // intact young GC
+		lines[1][:len(lines[1])-17], // concurrent cycle torn mid-field
+		"[0.300s][info][gc] GC(9) Pause Young (No", // truncated by a crash
+		"[0.301s][debug][jit] compiled something",  // interleaved foreign tag: silent skip
+		"\x00\x00garbage][gc] GC(",                 // binary garbage that still smells of GC
+		lines[2],                                   // intact full GC
+		lines[3],                                   // intact stall summary
+	}
+	r, err := ParseAll(strings.Join(corrupted, "\n") + "\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Malformed != 3 {
+		t.Fatalf("malformed = %d, want 3", r.Malformed)
+	}
+	if r.CapacityMB != 128 {
+		t.Fatalf("capacity = %v, want 128", r.CapacityMB)
+	}
+	if len(r.Log.Events) != 2 {
+		t.Fatalf("events = %d, want the 2 intact ones", len(r.Log.Events))
+	}
+	if r.Log.Events[0].Kind != trace.GCYoung || r.Log.Events[1].Kind != trace.GCFull {
+		t.Fatalf("surviving kinds = %v, %v; want young, full",
+			r.Log.Events[0].Kind, r.Log.Events[1].Kind)
+	}
+	if math.Abs(r.Log.StallNS-orig.StallNS) > 1e3 {
+		t.Fatalf("stall = %v, want %v", r.Log.StallNS, orig.StallNS)
+	}
+	if math.Abs(r.Log.TotalPauseNS()-(orig.Events[0].PauseNS+orig.Events[2].PauseNS)) > 1e3 {
+		t.Fatalf("pause total = %v", r.Log.TotalPauseNS())
+	}
+}
+
+func TestParseTruncatedFinalLine(t *testing.T) {
+	// A run killed mid-write leaves a partial last line; everything before it
+	// must survive and the tear must be counted, not fatal.
+	text := Format(sampleLog(), 128)
+	cut := text[:len(text)-10] // tears the trailing stall line mid-number
+	r, err := ParseAll(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Log.Events) != 3 {
+		t.Fatalf("events = %d, want 3 (tear hit only the stall line)", len(r.Log.Events))
+	}
+	if r.Malformed != 1 {
+		t.Fatalf("malformed = %d, want 1", r.Malformed)
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"chopin/internal/gc"
 	"chopin/internal/latency"
 	"chopin/internal/lbo"
+	"chopin/internal/obs"
 	"chopin/internal/stats"
 	"chopin/internal/trace"
 	"chopin/internal/workload"
@@ -55,6 +56,11 @@ type Options struct {
 	// (no cache, Parallelism workers); commands that want caching, progress
 	// events or resumability pass their own.
 	Engine *exper.Engine
+	// Recorder receives run telemetry for every invocation the sweep
+	// launches; the engine stamps events with each job's key. nil disables
+	// telemetry. Sweeps sharing the default engine still get per-run events
+	// because the recorder travels on the RunConfig, not the engine.
+	Recorder obs.Recorder
 }
 
 // DefaultHeapFactors mirrors the paper's sweep: dense at small heaps.
@@ -155,6 +161,7 @@ func runSet(eng *exper.Engine, d *workload.Descriptor, cfg workload.RunConfig, o
 			defer wg.Done()
 			c := cfg
 			c.Seed = opt.Seed + uint64(i)*1_000_003 + 17
+			c.Recorder = opt.Recorder
 			results[i], errs[i] = eng.Run(d, c)
 		}(i)
 	}
@@ -353,6 +360,7 @@ func latencyExperiment(d *workload.Descriptor, factors []float64, opt Options,
 				RecordLatency:    true,
 				OpenLoop:         openLoop,
 				OpenLoopHeadroom: headroom,
+				Recorder:         opt.Recorder,
 			}
 			lr := LatencyResult{
 				Benchmark: d.Name, Collector: c.kind.String(),
@@ -403,6 +411,7 @@ func HeapTimeline(d *workload.Descriptor, opt Options) ([]HeapSample, error) {
 		Iterations: opt.Iterations,
 		Events:     opt.Events,
 		Seed:       opt.Seed,
+		Recorder:   opt.Recorder,
 	})
 	if err != nil {
 		return nil, err

@@ -239,6 +239,61 @@ func TestMMUCurveMonotoneInWindow(t *testing.T) {
 	}
 }
 
+func TestMMUUnsortedPausesMatchSorted(t *testing.T) {
+	// The overlap scan early-exits past the window's right edge, which is
+	// only valid on a time-ordered list; the public API takes arbitrary user
+	// slices. Closed form: the 100-110ms and 110-120ms pauses fill a 20ms
+	// window completely, so MMU must be 0 — but only if the scan is not
+	// derailed by the out-of-order 300ms pause listed first.
+	unsorted := []trace.Pause{
+		{Start: 300 * ms, End: 310 * ms},
+		{Start: 100 * ms, End: 110 * ms},
+		{Start: 110 * ms, End: 120 * ms},
+	}
+	if got := MMU(unsorted, 0, 1000*ms, 20*ms); got != 0 {
+		t.Fatalf("MMU over unsorted pauses = %v, want 0", got)
+	}
+	sorted := []trace.Pause{unsorted[1], unsorted[2], unsorted[0]}
+	if got := MMU(sorted, 0, 1000*ms, 20*ms); got != 0 {
+		t.Fatalf("MMU over sorted pauses = %v, want 0", got)
+	}
+	// The caller's slice must come back untouched.
+	if unsorted[0].Start != 300*ms || unsorted[2].End != 120*ms {
+		t.Fatalf("input slice reordered: %+v", unsorted)
+	}
+}
+
+func TestMMUWindowEdges(t *testing.T) {
+	// Hand-computed cases pinning the clamping at the run boundaries.
+	cases := []struct {
+		name     string
+		pauses   []trace.Pause
+		runEnd   int64
+		windowNS float64
+		want     float64
+	}{
+		// A 10ms pause abutting the run end: the worst 20ms window is the
+		// final one, [980, 1000), half consumed -> 0.5.
+		{"trailing pause", []trace.Pause{{Start: 990 * ms, End: 1000 * ms}},
+			1000 * ms, 20 * ms, 0.5},
+		// Same pause under a 40ms window: 10/40 consumed -> 0.75.
+		{"trailing pause wide window", []trace.Pause{{Start: 990 * ms, End: 1000 * ms}},
+			1000 * ms, 40 * ms, 0.75},
+		// A pause opening the run: the candidate window cannot slide left of
+		// runStart, so [0, 20) is the worst -> 0.5.
+		{"leading pause", []trace.Pause{{Start: 0, End: 10 * ms}},
+			1000 * ms, 20 * ms, 0.5},
+		// Window wider than the run clamps to the whole run: 10/100 -> 0.9.
+		{"window exceeds run", []trace.Pause{{Start: 0, End: 10 * ms}},
+			100 * ms, 1000 * ms, 0.9},
+	}
+	for _, c := range cases {
+		if got := MMU(c.pauses, 0, c.runEnd, c.windowNS); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s: MMU = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
 func TestMMUBoundedZeroOne(t *testing.T) {
 	f := func(raw []uint32, wRaw uint32) bool {
 		var pauses []trace.Pause

@@ -1,6 +1,10 @@
 package latency
 
-import "chopin/internal/trace"
+import (
+	"sort"
+
+	"chopin/internal/trace"
+)
 
 // MMU computes the minimum mutator utilization for a sliding window of
 // windowNS over the run [runStart, runEnd): the worst-case fraction of any
@@ -21,6 +25,16 @@ func MMU(pauses []trace.Pause, runStart, runEnd int64, windowNS float64) float64
 	}
 	if len(pauses) == 0 {
 		return 1
+	}
+	// The overlap scan early-exits on the first pause starting past the
+	// window, which is only sound over a time-ordered list. Simulator traces
+	// arrive sorted; the public API accepts arbitrary user slices, so sort a
+	// copy when needed rather than silently dropping overlap.
+	if !sort.SliceIsSorted(pauses, func(i, j int) bool { return pauses[i].Start < pauses[j].Start }) {
+		sorted := make([]trace.Pause, len(pauses))
+		copy(sorted, pauses)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+		pauses = sorted
 	}
 
 	worst := 0.0 // worst pause overlap seen in any window

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// JSONL is a Recorder that serializes events as one JSON object per line —
+// the interchange format cmd/obsreport consumes. Writes are buffered and
+// mutex-serialized, so pool workers recording concurrently never interleave
+// bytes within a line.
+type JSONL struct {
+	mu   sync.Mutex
+	bw   *bufio.Writer
+	enc  *json.Encoder
+	err  error // first write error; subsequent records are dropped
+	seen int64
+}
+
+// NewJSONL wraps w in a JSONL recorder. The caller owns w; call Close to
+// flush buffered events before discarding the recorder or closing w.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	return &JSONL{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Enabled always reports true.
+func (j *JSONL) Enabled() bool { return true }
+
+// Record writes the event as one JSON line. The first write error sticks:
+// later events are dropped and the error is reported by Close, so a full
+// disk degrades telemetry rather than the experiment.
+func (j *JSONL) Record(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	if err := j.enc.Encode(e); err != nil {
+		j.err = fmt.Errorf("obs: writing event: %w", err)
+		return
+	}
+	j.seen++
+}
+
+// Events returns how many events have been recorded (and not dropped).
+func (j *JSONL) Events() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seen
+}
+
+// Close flushes buffered events and returns the first error encountered by
+// Record or the flush. It does not close the underlying writer.
+func (j *JSONL) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.bw.Flush(); err != nil && j.err == nil {
+		j.err = fmt.Errorf("obs: flushing events: %w", err)
+	}
+	return j.err
+}
+
+// DecodeJSONL reads a JSONL event stream, calling fn for each event. Blank
+// lines are skipped; a malformed line aborts with its line number, since a
+// telemetry file is machine-written and corruption means truncation.
+func DecodeJSONL(r io.Reader, fn func(Event) error) error {
+	dec := json.NewDecoder(r)
+	for n := 1; ; n++ {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("obs: event %d: %w", n, err)
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package obs is the run-telemetry observability layer: a zero-dependency
+// structured event stream plus lightweight counters and fixed-bucket
+// histograms, behind a Recorder interface whose disabled path costs nothing.
+//
+// The paper's diagnostic work — reading Shenandoah's GC log to explain the
+// lusearch anomaly (§6.3), attributing concurrent-collector CPU that hides
+// from wall clock — needs per-run visibility that aggregate results cannot
+// give. Every layer of this system therefore emits typed events through a
+// Recorder: the simulator reports scheduler quiescent points and transition
+// counts, collectors report GC phase start/end, pacer stalls, degenerations
+// and OOMs, and the experiment engine reports job lifecycle and cache
+// accounting. A JSONL sink serializes the stream for offline analysis
+// (cmd/obsreport turns it back into per-phase breakdowns and stall
+// histograms).
+//
+// # Hot-path discipline
+//
+// Recording must never tax a run that is not being observed. The contract:
+//
+//   - callers hold a non-nil Recorder (use Nop, never nil) and guard every
+//     emission with Enabled(), so the disabled cost is one boolean method
+//     call — components on per-event paths (the simulator engine) cache the
+//     boolean once instead;
+//   - Event is a flat value struct: constructing and passing one does not
+//     allocate; all allocation (JSON encoding, buffering) happens inside
+//     enabled sinks.
+package obs
+
+import "fmt"
+
+// Kind classifies a telemetry event.
+type Kind uint8
+
+// Event kinds, grouped by the layer that emits them.
+const (
+	// KindGCPhaseStart and KindGCPhaseEnd bracket one collection phase
+	// (young, full, concurrent, mixed, degenerate). The end event carries
+	// the phase's STW wall time (DurNS), its GC CPU (CPUNS) and the bytes
+	// reclaimed (Value).
+	KindGCPhaseStart Kind = iota
+	KindGCPhaseEnd
+	// KindGCPause is one stop-the-world interval (DurNS its wall time). A
+	// concurrent cycle pauses twice (initial + final) but logs one phase-end
+	// event, so pause events — not phase events — are what sum to the run's
+	// reported STW time.
+	KindGCPause
+	// KindPacerStall is one allocation throttled by a concurrent collector's
+	// pacer; DurNS is the stall length.
+	KindPacerStall
+	// KindDegenerateGC marks a concurrent cycle losing the race to the
+	// application and falling back to a stop-the-world full collection.
+	KindDegenerateGC
+	// KindOOM marks the collector exhausting every option for an allocation.
+	KindOOM
+	// KindQuiescent is a scheduler quiescent point: no runnable threads and
+	// no pending timers. DurNS is the virtual time advanced since the
+	// previous quiescent point, Value the engine transitions processed, and
+	// Aux the timers fired.
+	KindQuiescent
+	// KindJobStart and KindJobFinish bracket one experiment-engine job
+	// (simulator invocation). The finish event carries whole-run wall
+	// (DurNS) and task-clock (CPUNS) totals; Err is set if the job failed.
+	KindJobStart
+	KindJobFinish
+	// KindCacheHit and KindCacheMiss record result-cache accounting for a
+	// job key: a hit satisfies the job without simulation, a miss sends it
+	// to the worker pool.
+	KindCacheHit
+	KindCacheMiss
+	// KindMinHeap records a completed minimum-heap measurement; Value is the
+	// measured bound in MB.
+	KindMinHeap
+)
+
+var kindNames = [...]string{
+	KindGCPhaseStart: "gc-phase-start",
+	KindGCPhaseEnd:   "gc-phase-end",
+	KindGCPause:      "gc-pause",
+	KindPacerStall:   "pacer-stall",
+	KindDegenerateGC: "degenerate-gc",
+	KindOOM:          "oom",
+	KindQuiescent:    "quiescent",
+	KindJobStart:     "job-start",
+	KindJobFinish:    "job-finish",
+	KindCacheHit:     "cache-hit",
+	KindCacheMiss:    "cache-miss",
+	KindMinHeap:      "minheap",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ParseKind resolves a kind name as written to JSONL streams.
+func ParseKind(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if name == s {
+			return Kind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("obs: unknown event kind %q", s)
+}
+
+// MarshalText renders the kind by name, so JSONL streams are self-describing.
+func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText parses a kind by name.
+func (k *Kind) UnmarshalText(b []byte) error {
+	kk, err := ParseKind(string(b))
+	if err != nil {
+		return err
+	}
+	*k = kk
+	return nil
+}
+
+// Event is one telemetry record. It is a flat value struct so constructing
+// one on an enabled path allocates nothing; unused fields marshal away.
+type Event struct {
+	Kind Kind `json:"kind"`
+	// TNS is the event's timestamp in nanoseconds. Events emitted from
+	// inside a simulation carry virtual time; engine-level job events carry
+	// host wall-clock time (the two layers are never compared).
+	TNS int64 `json:"t_ns"`
+	// Run identifies the invocation the event belongs to — the engine job
+	// key when the run executes as an engine job. Streams from concurrent
+	// runs interleave; Run is what obsreport groups by.
+	Run       string `json:"run,omitempty"`
+	Benchmark string `json:"benchmark,omitempty"`
+	Collector string `json:"collector,omitempty"`
+	// Phase names the GC phase for phase events (young, full, concurrent,
+	// mixed, degenerate).
+	Phase string `json:"phase,omitempty"`
+	// DurNS is the event's duration: STW wall time for gc-phase-end, stall
+	// length for pacer-stall, whole-run wall for job-finish.
+	DurNS float64 `json:"dur_ns,omitempty"`
+	// CPUNS is GC CPU for gc-phase-end, whole-run task clock for job-finish.
+	CPUNS float64 `json:"cpu_ns,omitempty"`
+	// Value and Aux carry kind-specific magnitudes (bytes reclaimed,
+	// transition counts, measured heap MB).
+	Value float64 `json:"value,omitempty"`
+	Aux   float64 `json:"aux,omitempty"`
+	// Err is the failure message on job-finish of a failed job, or "oom".
+	Err string `json:"err,omitempty"`
+}
+
+// Recorder receives telemetry. Implementations must be safe for concurrent
+// use: events arrive from every worker of an experiment pool at once.
+type Recorder interface {
+	// Enabled reports whether Record does anything; callers use it to skip
+	// event construction entirely on hot paths.
+	Enabled() bool
+	// Record consumes one event.
+	Record(Event)
+}
+
+// nop is the disabled recorder.
+type nop struct{}
+
+func (nop) Enabled() bool { return false }
+func (nop) Record(Event)  {}
+
+// Nop is the no-op Recorder: Enabled is false and Record does nothing. Use
+// it instead of a nil Recorder so call sites never nil-check.
+var Nop Recorder = nop{}
+
+// Or returns r, or Nop when r is nil — the standard defaulting for optional
+// Recorder fields.
+func Or(r Recorder) Recorder {
+	if r == nil {
+		return Nop
+	}
+	return r
+}
+
+// runStamp wraps a Recorder, stamping run identity onto every event that
+// does not already carry one. The engine wraps its recorder per job so
+// events from concurrently executing invocations stay attributable.
+type runStamp struct {
+	r         Recorder
+	run       string
+	benchmark string
+	collector string
+}
+
+// WithRun returns a Recorder that stamps run, benchmark and collector onto
+// events recorded through it (without overwriting fields already set).
+// Stamping a disabled recorder returns it unchanged.
+func WithRun(r Recorder, run, benchmark, collector string) Recorder {
+	r = Or(r)
+	if !r.Enabled() {
+		return r
+	}
+	return &runStamp{r: r, run: run, benchmark: benchmark, collector: collector}
+}
+
+func (s *runStamp) Enabled() bool { return true }
+
+func (s *runStamp) Record(e Event) {
+	if e.Run == "" {
+		e.Run = s.run
+	}
+	if e.Benchmark == "" {
+		e.Benchmark = s.benchmark
+	}
+	if e.Collector == "" {
+		e.Collector = s.collector
+	}
+	s.r.Record(e)
+}
+
+// Multi fans every event out to each of rs (disabled ones are dropped). It
+// returns Nop when none are enabled, so the Enabled guard stays accurate.
+func Multi(rs ...Recorder) Recorder {
+	var live []Recorder
+	for _, r := range rs {
+		if r != nil && r.Enabled() {
+			live = append(live, r)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return Nop
+	case 1:
+		return live[0]
+	}
+	return multi(live)
+}
+
+type multi []Recorder
+
+func (m multi) Enabled() bool { return true }
+func (m multi) Record(e Event) {
+	for _, r := range m {
+		r.Record(e)
+	}
+}

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestKindRoundTrip(t *testing.T) {
+	for k := Kind(0); int(k) < len(kindNames); k++ {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Fatalf("ParseKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Fatal("ParseKind accepted an unknown name")
+	}
+}
+
+func TestNopCostsNothing(t *testing.T) {
+	r := Nop
+	allocs := testing.AllocsPerRun(1000, func() {
+		if r.Enabled() {
+			r.Record(Event{Kind: KindGCPhaseEnd, TNS: 1, DurNS: 2})
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled recording allocated %v per op", allocs)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	want := []Event{
+		{Kind: KindGCPhaseStart, TNS: 100, Run: "k1", Phase: "young"},
+		{Kind: KindGCPhaseEnd, TNS: 250, Run: "k1", Phase: "young", DurNS: 150, CPUNS: 900, Value: 1 << 20},
+		{Kind: KindPacerStall, TNS: 300, Run: "k1", DurNS: 5e5},
+		{Kind: KindJobFinish, TNS: 400, Run: "k1", Benchmark: "lusearch", Collector: "Shenandoah", DurNS: 1e9, CPUNS: 4e9},
+	}
+	for _, e := range want {
+		j.Record(e)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Events() != int64(len(want)) {
+		t.Fatalf("Events() = %d, want %d", j.Events(), len(want))
+	}
+	var got []Event
+	if err := DecodeJSONL(&buf, func(e Event) error {
+		got = append(got, e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDecodeJSONLTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	j.Record(Event{Kind: KindCacheHit, TNS: 1})
+	j.Record(Event{Kind: KindCacheMiss, TNS: 2})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	torn := buf.String()
+	torn = torn[:len(torn)-10] // cut mid-line, as a killed run would
+	var n int
+	err := DecodeJSONL(strings.NewReader(torn), func(Event) error { n++; return nil })
+	if err == nil {
+		t.Fatal("truncated stream decoded without error")
+	}
+	if n != 1 {
+		t.Fatalf("decoded %d whole events before the tear, want 1", n)
+	}
+}
+
+// TestJSONLConcurrent hammers one sink from many goroutines; under -race
+// (make tier1) this is the serialization proof, and line-atomicity is
+// checked by decoding everything back.
+func TestJSONLConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	const workers, per = 16, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				j.Record(Event{Kind: KindJobFinish, TNS: int64(i), Run: fmt.Sprintf("r%d", w)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	if err := DecodeJSONL(&buf, func(e Event) error {
+		if e.Kind != KindJobFinish {
+			t.Errorf("interleaved write corrupted an event: %+v", e)
+		}
+		n++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != workers*per {
+		t.Fatalf("decoded %d events, want %d", n, workers*per)
+	}
+}
+
+func TestWithRunStamps(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	r := WithRun(j, "key123", "h2", "G1")
+	r.Record(Event{Kind: KindGCPhaseEnd, Phase: "young"})
+	r.Record(Event{Kind: KindGCPhaseEnd, Run: "other", Benchmark: "kafka", Collector: "ZGC"})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []Event
+	if err := DecodeJSONL(&buf, func(e Event) error { got = append(got, e); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Run != "key123" || got[0].Benchmark != "h2" || got[0].Collector != "G1" {
+		t.Errorf("stamp missing: %+v", got[0])
+	}
+	if got[1].Run != "other" || got[1].Benchmark != "kafka" || got[1].Collector != "ZGC" {
+		t.Errorf("stamp overwrote explicit identity: %+v", got[1])
+	}
+	if r := WithRun(Nop, "k", "b", "c"); r.Enabled() {
+		t.Error("stamping Nop produced an enabled recorder")
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi(Nop, nil, Nop).Enabled() {
+		t.Error("Multi of disabled recorders is enabled")
+	}
+	var a, b bytes.Buffer
+	ja, jb := NewJSONL(&a), NewJSONL(&b)
+	m := Multi(ja, Nop, jb)
+	m.Record(Event{Kind: KindOOM})
+	ja.Close()
+	jb.Close()
+	if a.Len() == 0 || b.Len() == 0 {
+		t.Error("Multi did not fan out to both sinks")
+	}
+	if one := Multi(Nop, ja); one != Recorder(ja) {
+		t.Error("Multi with one live recorder should return it directly")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Load())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{10, 100, 1000})
+	for _, v := range []float64{5, 10, 11, 100, 500, 5000} {
+		h.Observe(v)
+	}
+	want := []int64{2, 2, 1, 1}
+	got := h.Counts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket counts = %v, want %v", got, want)
+		}
+	}
+	if h.Total() != 6 {
+		t.Fatalf("total = %d, want 6", h.Total())
+	}
+	if h.Sum() != 5+10+11+100+500+5000 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	h.Observe(math.NaN())
+	if math.IsNaN(h.Sum()) {
+		t.Fatal("NaN observation poisoned the sum")
+	}
+	if h.Total() != 6 {
+		t.Fatalf("NaN observation counted: total = %d", h.Total())
+	}
+	if !strings.Contains(h.String(), "#") {
+		t.Fatalf("String() rendered no bars:\n%s", h.String())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(StallBoundsNS)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.Observe(float64(1000 * (i + 1) * (j + 1)))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if h.Total() != 4000 {
+		t.Fatalf("total = %d, want 4000", h.Total())
+	}
+}

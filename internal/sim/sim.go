@@ -42,6 +42,8 @@ package sim
 import (
 	"fmt"
 	"math"
+
+	"chopin/internal/obs"
 )
 
 // Time is a point in virtual time, in nanoseconds.
@@ -107,8 +109,18 @@ type Engine struct {
 	freeTimer       *timerNode
 	timerSeq        int64
 
-	events int64
-	maxEv  int64
+	events     int64
+	maxEv      int64
+	timerFires int64
+
+	// Telemetry. recOn caches rec.Enabled() so the per-step cost of disabled
+	// telemetry is a plain bool test, not an interface call; the quiescent-
+	// point deltas are relative to the previous quiescent event.
+	rec    obs.Recorder
+	recOn  bool
+	lastQT float64
+	lastQE int64
+	lastQF int64
 
 	// scratch buffers reused across steps to avoid per-step allocation.
 	batch    []*Thread // fast stepper: threads completing this segment
@@ -123,7 +135,7 @@ func NewEngine(hw int, capacity CapacityFunc) *Engine {
 	if hw < 1 {
 		panic(fmt.Sprintf("sim: hw threads must be >= 1, got %d", hw))
 	}
-	e := &Engine{hw: hw, capacity: capacity, maxEv: math.MaxInt64}
+	e := &Engine{hw: hw, capacity: capacity, maxEv: math.MaxInt64, rec: obs.Nop}
 	if e.capacity == nil {
 		e.capacity = func(n int) float64 {
 			if n > hw {
@@ -147,6 +159,18 @@ func (e *Engine) HWThreads() int { return e.hw }
 
 // Events returns the number of scheduling events processed so far.
 func (e *Engine) Events() int64 { return e.events }
+
+// TimerFires returns the number of timer callbacks dispatched so far.
+func (e *Engine) TimerFires() int64 { return e.timerFires }
+
+// SetRecorder attaches a telemetry Recorder (nil restores the no-op). The
+// engine emits one quiescent-point event per Run drain; heavier per-event
+// telemetry would tax the stepper, so scheduler detail stays in counters
+// (Events, TimerFires) that the recorder snapshots at quiescent points.
+func (e *Engine) SetRecorder(r obs.Recorder) {
+	e.rec = obs.Or(r)
+	e.recOn = e.rec.Enabled()
+}
 
 // SetEventLimit caps the number of events Run will process before giving up;
 // it is a safety net against runaway simulations. Zero or negative restores
@@ -347,6 +371,16 @@ func (e *Engine) Run() error {
 		if e.events >= e.maxEv {
 			return fmt.Errorf("sim: event limit %d exceeded at t=%dns", e.maxEv, e.Now())
 		}
+	}
+	if e.recOn {
+		e.rec.Record(obs.Event{
+			Kind:  obs.KindQuiescent,
+			TNS:   e.Now(),
+			DurNS: e.now - e.lastQT,
+			Value: float64(e.events - e.lastQE),
+			Aux:   float64(e.timerFires - e.lastQF),
+		})
+		e.lastQT, e.lastQE, e.lastQF = e.now, e.events, e.timerFires
 	}
 	return nil
 }

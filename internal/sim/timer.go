@@ -126,6 +126,7 @@ func (e *Engine) fireTimers() {
 		e.timers.pop()
 		fn := top.n.fn
 		e.releaseTimer(top.n)
+		e.timerFires++
 		fn()
 	}
 }

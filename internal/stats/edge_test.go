@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+var (
+	nan = math.NaN()
+	inf = math.Inf(1)
+)
+
+// TestAggregateEdgeCases locks in the degraded-input contract: every
+// aggregate is computed over finite samples only, and inputs with none yield
+// defined zeros — never NaN and never a panic.
+func TestAggregateEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		fn   func([]float64) float64
+		want float64
+	}{
+		{"mean empty", nil, Mean, 0},
+		{"mean single", []float64{7}, Mean, 7},
+		{"mean all-NaN", []float64{nan, nan}, Mean, 0},
+		{"mean skips NaN", []float64{2, nan, 4}, Mean, 3},
+		{"mean skips Inf", []float64{2, inf, 4}, Mean, 3},
+		{"mean skips -Inf", []float64{2, -inf, 4}, Mean, 3},
+
+		{"geomean empty", nil, GeoMean, 0},
+		{"geomean single", []float64{9}, GeoMean, 9},
+		{"geomean pair", []float64{2, 8}, GeoMean, 4},
+		{"geomean skips zero", []float64{2, 0, 8}, GeoMean, 4},
+		{"geomean skips negative", []float64{2, -5, 8}, GeoMean, 4},
+		{"geomean skips NaN", []float64{2, nan, 8}, GeoMean, 4},
+		{"geomean skips Inf", []float64{2, inf, 8}, GeoMean, 4},
+		{"geomean all invalid", []float64{0, -1, nan}, GeoMean, 0},
+
+		{"stddev empty", nil, StdDev, 0},
+		{"stddev single", []float64{5}, StdDev, 0},
+		{"stddev pair", []float64{1, 3}, StdDev, math.Sqrt2},
+		{"stddev one finite among NaN", []float64{5, nan, nan}, StdDev, 0},
+		{"stddev skips NaN", []float64{1, nan, 3}, StdDev, math.Sqrt2},
+
+		{"ci95 empty", nil, CI95, 0},
+		{"ci95 single", []float64{5}, CI95, 0},
+		{"ci95 one finite among NaN", []float64{5, nan}, CI95, 0},
+	}
+	for _, c := range cases {
+		got := c.fn(c.in)
+		if math.IsNaN(got) {
+			t.Errorf("%s: got NaN, want %v", c.name, c.want)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestCI95SkipsNaN checks the degrees of freedom follow the finite count:
+// {1,3} with NaN noise must produce exactly the CI of {1,3}.
+func TestCI95SkipsNaN(t *testing.T) {
+	clean := CI95([]float64{1, 3})
+	noisy := CI95([]float64{1, nan, 3, nan})
+	if clean == 0 || clean != noisy {
+		t.Fatalf("CI95 with NaN noise = %v, want %v", noisy, clean)
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		p    float64
+		want float64
+	}{
+		{"empty", nil, 50, 0},
+		{"single p0", []float64{42}, 0, 42},
+		{"single p50", []float64{42}, 50, 42},
+		{"single p100", []float64{42}, 100, 42},
+		{"all-NaN", []float64{nan, nan}, 50, 0},
+		{"NaN dropped", []float64{3, nan, 1, nan, 2}, 50, 2},
+		{"NaN dropped p100", []float64{3, nan, 1}, 100, 3},
+		{"below range", []float64{1, 2}, -5, 1},
+		{"above range", []float64{1, 2}, 200, 2},
+		{"interpolated", []float64{0, 10}, 25, 2.5},
+		{"NaN rank", []float64{1, 2, 3}, nan, 0},
+	}
+	for _, c := range cases {
+		got := Percentile(c.in, c.p)
+		if math.IsNaN(got) {
+			t.Errorf("%s: got NaN, want %v", c.name, c.want)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("Summarize(nil) = %+v, want zeros", s)
+	}
+	s := Summarize([]float64{nan, 4, inf, 2})
+	if s.N != 2 {
+		t.Fatalf("N = %d, want 2 finite samples", s.N)
+	}
+	if s.Min != 2 || s.Max != 4 || s.Mean != 3 {
+		t.Fatalf("min/mean/max = %v/%v/%v, want 2/3/4", s.Min, s.Mean, s.Max)
+	}
+	if s = Summarize([]float64{nan}); s.N != 0 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("Summarize all-NaN = %+v, want zeros", s)
+	}
+}
+
+// TestTQuantileCoverage walks every df the CI code can request, so a gap in
+// the sparse t-table (e.g. df 21-24 falling between table rows) can never
+// return a zero critical value.
+func TestTQuantileCoverage(t *testing.T) {
+	prev := math.Inf(1)
+	for df := 1; df <= 40; df++ {
+		q := tQuantile(df)
+		if q < 1.960 {
+			t.Fatalf("tQuantile(%d) = %v, below the normal limit 1.960", df, q)
+		}
+		if q > prev {
+			t.Fatalf("tQuantile(%d) = %v rose above tQuantile(%d) = %v", df, q, df-1, prev)
+		}
+		prev = q
+	}
+	if q := tQuantile(0); q != 0 {
+		t.Fatalf("tQuantile(0) = %v, want 0 (undefined df)", q)
+	}
+}

@@ -5,49 +5,77 @@
 package stats
 
 import (
-	"fmt"
 	"math"
 	"sort"
 )
 
-// Mean returns the arithmetic mean of xs; 0 for an empty slice.
-func Mean(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
+// Every aggregate here is defined over the *finite* samples of its input:
+// NaN and ±Inf are dropped rather than propagated, and an input with no
+// usable samples yields 0, never a panic or NaN. A sweep cell whose one bad
+// invocation produced a NaN must degrade that cell, not poison the
+// cross-suite geomean it feeds.
+
+// isFinite reports whether x is an ordinary number (not NaN or ±Inf).
+func isFinite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
+
+// meanCount returns the mean over finite samples and how many there were.
+func meanCount(xs []float64) (float64, int) {
 	var sum float64
+	var n int
 	for _, x := range xs {
+		if !isFinite(x) {
+			continue
+		}
 		sum += x
+		n++
 	}
-	return sum / float64(len(xs))
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), n
+}
+
+// Mean returns the arithmetic mean of the finite values of xs; 0 when there
+// are none.
+func Mean(xs []float64) float64 {
+	m, _ := meanCount(xs)
+	return m
 }
 
 // GeoMean returns the geometric mean of xs, the aggregation the paper uses
-// for cross-benchmark overheads. It panics on non-positive inputs: a
-// non-positive overhead ratio indicates a harness bug, not data.
+// for cross-benchmark overheads. Non-positive and non-finite values carry no
+// usable magnitude on a log scale and are dropped; 0 is returned when no
+// value qualifies.
 func GeoMean(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
 	var logSum float64
+	var n int
 	for _, x := range xs {
-		if x <= 0 {
-			panic(fmt.Sprintf("stats: GeoMean of non-positive value %v", x))
+		if x <= 0 || !isFinite(x) {
+			continue
 		}
 		logSum += math.Log(x)
+		n++
 	}
-	return math.Exp(logSum / float64(len(xs)))
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
 }
 
-// StdDev returns the sample standard deviation (n-1 denominator).
+// StdDev returns the sample standard deviation (n-1 denominator) of the
+// finite values of xs; 0 with fewer than two of them.
 func StdDev(xs []float64) float64 {
-	n := len(xs)
+	m, n := meanCount(xs)
 	if n < 2 {
 		return 0
 	}
-	m := Mean(xs)
 	var ss float64
 	for _, x := range xs {
+		if !isFinite(x) {
+			continue
+		}
 		d := x - m
 		ss += d * d
 	}
@@ -101,9 +129,10 @@ func tQuantile(df int) float64 {
 }
 
 // CI95 returns the half-width of the 95% confidence interval of the mean of
-// xs, using the Student-t distribution as the paper's plots do.
+// the finite values of xs, using the Student-t distribution as the paper's
+// plots do; 0 with fewer than two usable samples.
 func CI95(xs []float64) float64 {
-	n := len(xs)
+	_, n := meanCount(xs)
 	if n < 2 {
 		return 0
 	}
@@ -112,6 +141,7 @@ func CI95(xs []float64) float64 {
 
 // Summary bundles the statistics reported for one measured quantity.
 type Summary struct {
+	// N counts the finite samples the other fields are computed over.
 	N      int
 	Mean   float64
 	StdDev float64
@@ -120,14 +150,20 @@ type Summary struct {
 	Max    float64
 }
 
-// Summarize computes a Summary of xs.
+// Summarize computes a Summary over the finite values of xs.
 func Summarize(xs []float64) Summary {
-	s := Summary{N: len(xs), Mean: Mean(xs), StdDev: StdDev(xs), CI95: CI95(xs)}
-	if len(xs) == 0 {
-		return s
-	}
-	s.Min, s.Max = xs[0], xs[0]
-	for _, x := range xs[1:] {
+	_, n := meanCount(xs)
+	s := Summary{N: n, Mean: Mean(xs), StdDev: StdDev(xs), CI95: CI95(xs)}
+	first := true
+	for _, x := range xs {
+		if !isFinite(x) {
+			continue
+		}
+		if first {
+			s.Min, s.Max = x, x
+			first = false
+			continue
+		}
 		s.Min = math.Min(s.Min, x)
 		s.Max = math.Max(s.Max, x)
 	}
@@ -136,22 +172,28 @@ func Summarize(xs []float64) Summary {
 
 // Percentile returns the p-th percentile (0..100) of xs using linear
 // interpolation between order statistics, matching the conventional
-// definition used for latency distributions. xs need not be sorted.
+// definition used for latency distributions. xs need not be sorted; NaN
+// samples are dropped (they have no rank), and 0 is returned when nothing
+// remains.
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
+	sorted := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			sorted = append(sorted, x)
+		}
+	}
+	if len(sorted) == 0 {
 		return 0
 	}
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
 	sort.Float64s(sorted)
 	return PercentileSorted(sorted, p)
 }
 
-// PercentileSorted is Percentile over an already-sorted slice, avoiding the
-// copy for repeated queries.
+// PercentileSorted is Percentile over an already-sorted, NaN-free slice,
+// avoiding the copy for repeated queries. A NaN rank query returns 0.
 func PercentileSorted(sorted []float64, p float64) float64 {
 	n := len(sorted)
-	if n == 0 {
+	if n == 0 || math.IsNaN(p) {
 		return 0
 	}
 	if p <= 0 {

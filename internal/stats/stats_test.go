@@ -24,13 +24,13 @@ func TestGeoMean(t *testing.T) {
 	}
 }
 
-func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	GeoMean([]float64{1, 0})
+func TestGeoMeanDropsNonPositive(t *testing.T) {
+	// Non-positive values have no log-scale magnitude; they are dropped
+	// rather than panicking, so one broken cell degrades instead of killing
+	// a whole suite aggregation (see edge_test.go for the full contract).
+	if got := GeoMean([]float64{1, 0}); got != 1 {
+		t.Fatalf("GeoMean([1,0]) = %v, want 1", got)
+	}
 }
 
 func TestStdDevKnownValue(t *testing.T) {

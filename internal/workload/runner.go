@@ -7,6 +7,7 @@ import (
 	"chopin/internal/gc"
 	"chopin/internal/heap"
 	"chopin/internal/jit"
+	"chopin/internal/obs"
 	"chopin/internal/sim"
 	"chopin/internal/trace"
 )
@@ -65,6 +66,10 @@ type RunConfig struct {
 	// (see internal/workload/openloop.go). Build phases are not modelled in
 	// open-loop mode; the live set is installed directly.
 	OpenLoop bool
+	// Recorder receives the run's telemetry (GC phases, pacer stalls,
+	// scheduler quiescent points); nil disables recording. Excluded from JSON
+	// so it never participates in job hashing or result persistence.
+	Recorder obs.Recorder `json:"-"`
 }
 
 // Event is one timed request/frame: its processing start and end in virtual
@@ -169,6 +174,10 @@ func Run(d *Descriptor, cfg RunConfig) (*Result, error) {
 	h := heap.New(heap.Config{SizeBytes: cfg.HeapMB * MB, Expansion: expansion}, d.Demo)
 	log := &trace.Log{}
 	col := gc.New(p, eng, h, log)
+	if rec := obs.Or(cfg.Recorder); rec.Enabled() {
+		eng.SetRecorder(rec)
+		col.SetRecorder(rec)
+	}
 
 	threads := d.Threads
 	if cfg.ThreadsOverride > 0 {

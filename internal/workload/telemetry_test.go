@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"chopin/internal/gc"
+	"chopin/internal/obs"
+)
+
+// sliceRecorder collects events in memory for assertions.
+type sliceRecorder struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (r *sliceRecorder) Enabled() bool { return true }
+func (r *sliceRecorder) Record(e obs.Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// TestTelemetryReconstructsLogTotals is the wiring contract: summing the
+// telemetry stream by kind must reproduce the trace.Log totals the
+// methodologies report — gc-pause durations sum to TotalPauseNS, phase-end
+// CPU to TotalGCCPUNS, pacer stalls to StallNS. Shenandoah at a tight heap
+// exercises pacing, concurrent cycles and (usually) degenerations at once.
+func TestTelemetryReconstructsLogTotals(t *testing.T) {
+	d, err := ByName("lusearch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &sliceRecorder{}
+	res, err := Run(d, RunConfig{
+		HeapMB:     d.LiveMB * 2.2,
+		Collector:  gc.Shenandoah,
+		Iterations: 2,
+		Events:     400,
+		Seed:       7,
+		Recorder:   rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var pauseSum, cpuSum, stallSum float64
+	var phaseEnds, pauses, stalls, quiescents int
+	for _, e := range rec.events {
+		switch e.Kind {
+		case obs.KindGCPause:
+			pauseSum += e.DurNS
+			pauses++
+		case obs.KindGCPhaseEnd:
+			cpuSum += e.CPUNS
+			phaseEnds++
+		case obs.KindPacerStall:
+			stallSum += e.DurNS
+			stalls++
+		case obs.KindQuiescent:
+			quiescents++
+		}
+	}
+
+	if pauses == 0 || phaseEnds == 0 {
+		t.Fatalf("no GC telemetry recorded (pauses=%d phases=%d)", pauses, phaseEnds)
+	}
+	if got, want := pauseSum, res.Log.TotalPauseNS(); !closeTo(got, want) {
+		t.Errorf("gc-pause sum = %v, log TotalPauseNS = %v", got, want)
+	}
+	if got, want := cpuSum, res.Log.TotalGCCPUNS(); !closeTo(got, want) {
+		t.Errorf("gc-phase-end CPU sum = %v, log TotalGCCPUNS = %v", got, want)
+	}
+	if got, want := stallSum, res.Log.StallNS; !closeTo(got, want) {
+		t.Errorf("pacer-stall sum = %v, log StallNS = %v", got, want)
+	}
+	if len(res.Log.Pauses) != pauses {
+		t.Errorf("gc-pause events = %d, log pauses = %d", pauses, len(res.Log.Pauses))
+	}
+	if len(res.Log.Events) != phaseEnds {
+		t.Errorf("gc-phase-end events = %d, log events = %d", phaseEnds, len(res.Log.Events))
+	}
+	// One quiescent point per engine drain: the runner calls Run once per
+	// iteration.
+	if quiescents != 2 {
+		t.Errorf("quiescent events = %d, want one per iteration (2)", quiescents)
+	}
+}
+
+// TestTelemetryDisabledByDefault confirms a nil Recorder records nothing and
+// the run still succeeds (the hot-path guard contract).
+func TestTelemetryDisabledByDefault(t *testing.T) {
+	d, err := ByName("lusearch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(d, RunConfig{
+		HeapMB: d.LiveMB * 3, Collector: gc.G1, Iterations: 1, Events: 200,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// closeTo allows only float summation-order slack: the telemetry stream and
+// the log accumulate the same values, so agreement must be near-exact.
+func closeTo(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
