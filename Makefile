@@ -18,6 +18,16 @@ bench:
 	go test -run='^$$' -bench='BenchmarkEngine' -benchmem -benchtime=300ms \
 		./internal/sim | go run ./cmd/benchjson -out BENCH_sim.json
 
+# Statistical perf-regression gate: run the scheduler microbenchmarks five
+# times and compare the timing distributions against the committed
+# BENCH_sim.json baseline with cmd/benchdiff (Mann-Whitney + median
+# threshold). Fails on a statistically significant regression beyond 10%.
+.PHONY: bench-gate
+bench-gate:
+	go test -run='^$$' -bench='BenchmarkEngine' -benchmem -benchtime=300ms \
+		-count=5 ./internal/sim | tee bench-gate.txt
+	go run ./cmd/benchdiff -threshold 0.10 BENCH_sim.json bench-gate.txt
+
 # Figure/table regeneration benches (reduced sizes; minutes, not hours).
 .PHONY: bench-figures
 bench-figures:

@@ -130,6 +130,10 @@ type (
 	// JSONLRecorder streams telemetry as one JSON object per line — the
 	// format cmd/obsreport summarizes.
 	JSONLRecorder = obs.JSONL
+	// TelemetryStreamInfo summarizes a decoded stream's integrity: whether
+	// it terminated with a clean run_end, and any sequence gaps or
+	// reordering (DecodeTelemetryStream).
+	TelemetryStreamInfo = obs.StreamInfo
 )
 
 // Cache modes: CacheReadWrite resumes from cached results; CacheWriteOnly
@@ -159,6 +163,14 @@ func NewJSONLRecorder(w io.Writer) *JSONLRecorder { return obs.NewJSONL(w) }
 // DecodeTelemetry reads a JSONL telemetry stream, calling fn per event.
 func DecodeTelemetry(r io.Reader, fn func(TelemetryEvent) error) error {
 	return obs.DecodeJSONL(r, fn)
+}
+
+// DecodeTelemetryStream is DecodeTelemetry with an integrity audit: the
+// returned TelemetryStreamInfo reports whether the stream ended with a
+// clean run_end terminator and counts dropped or reordered events, so a
+// crash-truncated capture is distinguishable from a short run.
+func DecodeTelemetryStream(r io.Reader, fn func(TelemetryEvent) error) (TelemetryStreamInfo, error) {
+	return obs.DecodeStream(r, fn)
 }
 
 // WithRecorder returns opt with the telemetry recorder attached — the

@@ -1,0 +1,73 @@
+// Command benchdiff is the statistical perf-regression gate: it compares
+// two benchmark result files and exits non-zero when the new side is
+// significantly slower.
+//
+// Each input is either a BENCH_sim.json-style map (cmd/benchjson output) or
+// raw `go test -bench` text; `-count=N` text carries N samples per
+// benchmark, enabling the Mann-Whitney significance test. With fewer than
+// three samples per side the relative-threshold rule alone decides.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -count=5 ./internal/sim > new.txt
+//	benchdiff BENCH_sim.json new.txt
+//	benchdiff -threshold 0.10 -alpha 0.01 old.txt new.txt
+//
+// Exit status: 0 when no benchmark regressed, 1 on any significant
+// regression, 2 on usage or parse errors. `make bench-gate` wires this
+// against the checked-in BENCH_sim.json baseline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chopin/internal/obs/benchdiff"
+)
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 0.05, "minimum |delta| of the median to flag, as a fraction")
+		alpha     = flag.Float64("alpha", 0.05, "Mann-Whitney significance level (needs >=3 samples per side)")
+		iters     = flag.Int("bootstrap", 1000, "bootstrap iterations for the median CI")
+		seed      = flag.Uint64("seed", 1, "bootstrap RNG seed")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] OLD NEW\n\n")
+		fmt.Fprintf(os.Stderr, "OLD and NEW are BENCH_sim.json-style maps or `go test -bench` output.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	old, err := benchdiff.ParseFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := benchdiff.ParseFile(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	rep := benchdiff.Compare(old, cur, benchdiff.Options{
+		Threshold:      *threshold,
+		Alpha:          *alpha,
+		BootstrapIters: *iters,
+		Seed:           *seed,
+	})
+	fmt.Printf("benchdiff: %s vs %s (threshold %.0f%%, alpha %.2f)\n\n",
+		flag.Arg(0), flag.Arg(1), *threshold*100, *alpha)
+	rep.Render(os.Stdout)
+	if rep.Regressions > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(2)
+}

@@ -1,13 +1,22 @@
 // Command obsreport summarizes a telemetry stream captured with the
 // -telemetry flag of the experiment commands: per-collector GC phase-time
 // breakdowns, pacer-stall histograms, cache accounting and job totals,
-// rendered as aligned ASCII tables.
+// rendered as aligned ASCII tables. It also audits the stream itself —
+// missing run_end terminators, sequence gaps and reordering are reported
+// rather than silently skewing the aggregates.
+//
+// With -trace-out the stream is additionally folded into causal span trees
+// (GC cycles owning their pauses, stalls blamed on the throttling cycle)
+// and exported as Chrome trace-event JSON for chrome://tracing / Perfetto;
+// -timeline renders the same spans as a terminal timeline.
 //
 // Usage:
 //
 //	lbo -bench lusearch -telemetry run.jsonl
 //	obsreport run.jsonl
 //	obsreport -collector Shenandoah run.jsonl   # restrict to one collector
+//	obsreport -trace-out run.trace.json run.jsonl
+//	obsreport -timeline run.jsonl
 package main
 
 import (
@@ -18,6 +27,8 @@ import (
 	"sort"
 
 	"chopin/internal/obs"
+	"chopin/internal/obs/span"
+	"chopin/internal/obs/traceview"
 	"chopin/internal/report"
 )
 
@@ -54,6 +65,9 @@ func main() {
 	var (
 		collectorFilter = flag.String("collector", "", "restrict the report to one collector")
 		benchFilter     = flag.String("bench", "", "restrict the report to one benchmark")
+		traceOut        = flag.String("trace-out", "", "write causal span timelines as Chrome trace-event JSON to this file")
+		timeline        = flag.Bool("timeline", false, "render a terminal span timeline per run")
+		timelineWidth   = flag.Int("timeline-width", 72, "timeline bar width in cells")
 	)
 	flag.Parse()
 
@@ -71,7 +85,11 @@ func main() {
 	cols := map[string]*collectorAgg{}
 	jobs := jobAgg{}
 	runs := map[string]bool{}
-	var total, skipped int
+	var total, skipped, samples int
+	// Span folding needs the whole (filtered) stream in memory; only pay
+	// for it when an export was requested.
+	wantSpans := *traceOut != "" || *timeline
+	var kept []obs.Event
 
 	col := func(name string) *collectorAgg {
 		c := cols[name]
@@ -82,7 +100,7 @@ func main() {
 		return c
 	}
 
-	err := obs.DecodeJSONL(in, func(e obs.Event) error {
+	info, err := obs.DecodeStream(in, func(e obs.Event) error {
 		total++
 		if *collectorFilter != "" && e.Collector != *collectorFilter {
 			skipped++
@@ -94,6 +112,9 @@ func main() {
 		}
 		if e.Run != "" {
 			runs[e.Run] = true
+		}
+		if wantSpans {
+			kept = append(kept, e)
 		}
 		switch e.Kind {
 		case obs.KindGCPhaseEnd:
@@ -136,6 +157,8 @@ func main() {
 			jobs.misses++
 		case obs.KindMinHeap:
 			jobs.minHeaps++
+		case obs.KindSample:
+			samples++
 		}
 		return nil
 	})
@@ -144,6 +167,10 @@ func main() {
 		// what decoded and say why it stopped.
 		fmt.Fprintf(os.Stderr, "obsreport: stream ended early: %v\n", err)
 	}
+	if werr := info.Err(); werr != nil {
+		// Integrity problems skew every aggregate below; say so up front.
+		fmt.Fprintf(os.Stderr, "obsreport: warning: %v\n", werr)
+	}
 
 	fmt.Printf("telemetry: %s — %d events", name, total)
 	if skipped > 0 {
@@ -151,6 +178,9 @@ func main() {
 	}
 	if len(runs) > 0 {
 		fmt.Printf(", %d runs", len(runs))
+	}
+	if samples > 0 {
+		fmt.Printf(", %d samples", samples)
 	}
 	fmt.Println()
 
@@ -198,6 +228,22 @@ func main() {
 		t.AddRowf("job wall total (s)", jobs.wallNS/1e9)
 		t.AddRowf("job sim-cpu total (s)", jobs.cpuNS/1e9)
 		t.Render(os.Stdout)
+	}
+
+	if wantSpans {
+		trees := span.Build(kept)
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			check(err)
+			check(traceview.WriteChromeTrace(f, trees))
+			check(f.Close())
+			fmt.Printf("\nwrote %d run timeline(s) to %s (load in Perfetto or chrome://tracing)\n",
+				len(trees), *traceOut)
+		}
+		if *timeline {
+			fmt.Println()
+			check(traceview.WriteTimeline(os.Stdout, trees, *timelineWidth))
+		}
 	}
 }
 

@@ -54,16 +54,22 @@ type Options struct {
 	// accounting, and — injected per job — the run's GC and scheduler
 	// events, stamped with the job key). nil disables telemetry.
 	Recorder obs.Recorder
+	// TraceDir, when non-empty, captures each executed job's telemetry in
+	// memory and writes it as Chrome trace-event JSON to
+	// <TraceDir>/<key>.trace.json — one causal timeline per invocation,
+	// loadable in Perfetto. Cache hits write nothing (they did not run).
+	TraceDir string
 }
 
 // Engine executes jobs. One engine should be shared across everything a
 // process runs — commands build one and pass it down via harness.Options.
 type Engine struct {
-	pool    *pool
-	cache   *Cache
-	memoize bool
-	obs     func(Event)
-	rec     obs.Recorder
+	pool     *pool
+	cache    *Cache
+	memoize  bool
+	obs      func(Event)
+	rec      obs.Recorder
+	traceDir string
 
 	mu        sync.Mutex
 	inflight  map[Key]*call
@@ -129,6 +135,7 @@ func New(opt Options) *Engine {
 		memoize:   opt.Memoize,
 		obs:       opt.Observer,
 		rec:       obs.Or(opt.Recorder),
+		traceDir:  opt.TraceDir,
 		inflight:  map[Key]*call{},
 		memo:      map[Key]outcome{},
 		minMemo:   map[Key]float64{},
@@ -262,11 +269,19 @@ func (e *Engine) execute(job Job) outcome {
 
 	// Inject the telemetry stream into the run, stamped with the job key so
 	// events from concurrently executing invocations stay attributable. A
-	// recorder already set on the config wins (and still gets stamped).
-	if r := obs.Or(job.Cfg.Recorder); r.Enabled() {
+	// recorder already set on the config wins (and still gets stamped); a
+	// TraceDir additionally buffers the job's own events for its per-job
+	// trace file.
+	var jobTrace *traceBuffer
+	if e.traceDir != "" {
+		jobTrace = &traceBuffer{}
+	}
+	base := obs.Or(job.Cfg.Recorder)
+	if !base.Enabled() {
+		base = e.rec
+	}
+	if r := obs.Multi(base, jobTrace.orNil()); r.Enabled() {
 		job.Cfg.Recorder = obs.WithRun(r, string(k), job.Desc.Name, job.Cfg.Collector.String())
-	} else if e.rec.Enabled() {
-		job.Cfg.Recorder = obs.WithRun(e.rec, string(k), job.Desc.Name, job.Cfg.Collector.String())
 	}
 
 	e.emit(jobEvent(JobQueued, job))
@@ -289,6 +304,12 @@ func (e *Engine) execute(job Job) outcome {
 		done <- outcome{res, err}
 	})
 	out := <-done
+
+	if jobTrace != nil {
+		if werr := e.writeJobTrace(k, jobTrace.take()); werr != nil && out.err == nil {
+			return outcome{nil, fmt.Errorf("exper: writing %s trace: %w", job.Desc.Name, werr)}
+		}
+	}
 
 	if out.err != nil {
 		var oom *workload.ErrOutOfMemory

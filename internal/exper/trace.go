@@ -1,0 +1,68 @@
+package exper
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"chopin/internal/obs"
+	"chopin/internal/obs/span"
+	"chopin/internal/obs/traceview"
+)
+
+// traceBuffer captures one executing job's telemetry in memory so the
+// engine can fold it into a per-job Chrome trace file (Options.TraceDir).
+// It is a Recorder so it slots into the same Multi fan-out as the shared
+// telemetry sink; the mutex keeps it safe under the Recorder contract even
+// though a single simulation records sequentially.
+type traceBuffer struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (b *traceBuffer) Enabled() bool { return true }
+
+func (b *traceBuffer) Record(e obs.Event) {
+	b.mu.Lock()
+	b.events = append(b.events, e)
+	b.mu.Unlock()
+}
+
+// orNil converts a possibly-nil *traceBuffer into a Recorder operand for
+// obs.Multi, which skips nils.
+func (b *traceBuffer) orNil() obs.Recorder {
+	if b == nil {
+		return nil
+	}
+	return b
+}
+
+func (b *traceBuffer) take() []obs.Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	evs := b.events
+	b.events = nil
+	return evs
+}
+
+// writeJobTrace folds a completed job's buffered events into spans and
+// writes them as <TraceDir>/<key>.trace.json.
+func (e *Engine) writeJobTrace(k Key, events []obs.Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(e.traceDir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(e.traceDir, fmt.Sprintf("%s.trace.json", k))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := traceview.WriteChromeTrace(f, span.Build(events)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,88 @@
+package exper_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chopin/internal/exper"
+	"chopin/internal/gc"
+	"chopin/internal/workload"
+)
+
+// TestTraceDirWritesPerJobTimeline checks Options.TraceDir captures each
+// executed job's telemetry as a loadable Chrome trace file named by key,
+// and that cache-free re-execution of the same key overwrites cleanly.
+func TestTraceDirWritesPerJobTimeline(t *testing.T) {
+	dir := t.TempDir()
+	eng := exper.New(exper.Options{Workers: 2, TraceDir: dir})
+	defer eng.Close()
+
+	d, err := workload.ByName("lusearch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := workload.RunConfig{
+		HeapMB: d.LiveMB * 2.2, Collector: gc.Shenandoah, Events: 200, Seed: 3,
+	}
+	if _, err := eng.Run(d, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("got %d trace files, want 1", len(entries))
+	}
+	name := entries[0].Name()
+	if !strings.HasSuffix(name, ".trace.json") {
+		t.Fatalf("trace file %q lacks .trace.json suffix", name)
+	}
+	job, err := exper.NewJob(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := string(job.Key()) + ".trace.json"; name != want {
+		t.Fatalf("trace file %q, want %q (named by job key)", name, want)
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	var spans int
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "X" {
+			spans++
+		}
+	}
+	if spans == 0 {
+		t.Fatal("trace file contains no spans")
+	}
+}
+
+// TestTraceDirUnsetWritesNothing locks the default: no TraceDir, no files
+// and no per-job buffering.
+func TestTraceDirUnsetWritesNothing(t *testing.T) {
+	eng := exper.New(exper.Options{Workers: 1})
+	defer eng.Close()
+	d, err := workload.ByName("lusearch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(d, workload.RunConfig{
+		HeapMB: d.LiveMB * 3, Collector: gc.G1, Events: 150, Seed: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -37,6 +37,13 @@ type Collector struct {
 	deferred   []func()
 
 	cycle *cycleState
+	// cycleSeq numbers every collection (young, full, concurrent) within
+	// the run; activeID is the collection that owns the pause currently in
+	// flight. Both are assigned unconditionally — IDs are part of the
+	// deterministic run, telemetry merely reports them — so the event
+	// stream is identical whether or not a recorder is attached.
+	cycleSeq int64
+	activeID int64
 	// lastCycleAlloc is TotalAllocated when the previous concurrent cycle
 	// finished; a new cycle needs fresh allocation behind it, or an
 	// occupancy sitting just above the trigger would re-cycle continuously.
@@ -58,6 +65,7 @@ type pendingAlloc struct {
 }
 
 type cycleState struct {
+	id        int64
 	snap      heap.Snapshot
 	minor     bool // GenZGC young cycle
 	start     sim.Time
@@ -91,10 +99,12 @@ func (c *Collector) Params() Params { return c.p }
 func (c *Collector) SetRecorder(r obs.Recorder) { c.rec = obs.Or(r) }
 
 // addEvent records a completed collection phase in the trace log and, when
-// telemetry is live, emits the matching gc-phase-end event. The event copies
-// the log entry's fields verbatim (wall pause, GC CPU, bytes reclaimed), so
-// summing telemetry by kind reconstructs TotalPauseNS and TotalGCCPUNS.
-func (c *Collector) addEvent(ev trace.GCEvent) {
+// telemetry is live, emits the matching gc-phase-end event, stamped with the
+// collection's cycle ID (and the causing cycle, for degenerate collections).
+// The event copies the log entry's fields verbatim (wall pause, GC CPU,
+// bytes reclaimed), so summing telemetry by kind reconstructs TotalPauseNS
+// and TotalGCCPUNS.
+func (c *Collector) addEvent(ev trace.GCEvent, id, cause int64) {
 	c.log.AddEvent(ev)
 	if c.rec.Enabled() {
 		c.rec.Record(obs.Event{
@@ -105,15 +115,30 @@ func (c *Collector) addEvent(ev trace.GCEvent) {
 			CPUNS: ev.CPUNS,
 			Value: ev.Reclaimed,
 			Aux:   ev.UsedAfter,
+			Cycle: id,
+			Cause: cause,
 		})
 	}
 }
 
-// phaseStart emits a gc-phase-start event when telemetry is live.
-func (c *Collector) phaseStart(kind trace.GCKind) {
+// phaseStart opens a new collection: it assigns the next cycle ID, marks it
+// the owner of upcoming pauses, and emits a gc-phase-start event when
+// telemetry is live. cause links a degenerate collection to the concurrent
+// cycle that lost the race (zero otherwise).
+func (c *Collector) phaseStart(kind trace.GCKind, cause int64) int64 {
+	c.cycleSeq++
+	id := c.cycleSeq
+	c.activeID = id
 	if c.rec.Enabled() {
-		c.rec.Record(obs.Event{Kind: obs.KindGCPhaseStart, TNS: c.eng.Now(), Phase: kind.String()})
+		c.rec.Record(obs.Event{
+			Kind:  obs.KindGCPhaseStart,
+			TNS:   c.eng.Now(),
+			Phase: kind.String(),
+			Cycle: id,
+			Cause: cause,
+		})
 	}
+	return id
 }
 
 // Degenerations returns how many times a concurrent cycle lost the race and
@@ -180,7 +205,12 @@ func (c *Collector) Alloc(bytes float64, done func(ok bool)) {
 		if stall := c.pacerStall(); stall > 0 {
 			c.log.AddStall(stall)
 			if c.rec.Enabled() {
-				c.rec.Record(obs.Event{Kind: obs.KindPacerStall, TNS: c.eng.Now(), DurNS: stall})
+				// TNS is the stall's start; Cause attributes it to the
+				// concurrent cycle whose pacer throttled the allocation.
+				c.rec.Record(obs.Event{
+					Kind: obs.KindPacerStall, TNS: c.eng.Now(),
+					DurNS: stall, Cause: c.cycle.id,
+				})
 			}
 			c.eng.After(stall, func() { c.allocAfterStall(bytes, done) })
 			return
@@ -251,14 +281,16 @@ func (c *Collector) handleFailure(bytes float64, done func(bool)) {
 		fullKind = trace.GCDegenerate
 	}
 	full := func() {
+		var cause int64
 		if c.cycle != nil {
+			cause = c.cycle.id
 			c.cancelCycle()
 		}
-		c.degenerationsIf(fullKind)
+		c.degenerationsIf(fullKind, cause)
 		// Any full collection means the concurrent policy started too late
 		// (G1 logs these as full GCs, not degenerations).
 		c.adaptTrigger(-0.08)
-		c.stwFull(fullKind, func() {
+		c.stwFull(fullKind, cause, func() {
 			if c.heap.TryAlloc(bytes) {
 				done(true)
 				return
@@ -288,11 +320,11 @@ func (c *Collector) handleFailure(bytes float64, done func(bool)) {
 	full()
 }
 
-func (c *Collector) degenerationsIf(kind trace.GCKind) {
+func (c *Collector) degenerationsIf(kind trace.GCKind, cause int64) {
 	if kind == trace.GCDegenerate {
 		c.degenerations++
 		if c.rec.Enabled() {
-			c.rec.Record(obs.Event{Kind: obs.KindDegenerateGC, TNS: c.eng.Now()})
+			c.rec.Record(obs.Event{Kind: obs.KindDegenerateGC, TNS: c.eng.Now(), Cause: cause})
 		}
 	}
 }
@@ -314,27 +346,27 @@ func (c *Collector) adaptTrigger(delta float64) {
 
 // stwYoung performs a stop-the-world young collection.
 func (c *Collector) stwYoung(after func()) {
-	c.phaseStart(trace.GCYoung)
+	id := c.phaseStart(trace.GCYoung, 0)
 	st := c.heap.CollectYoung()
 	serial := c.p.PauseFloorNS +
 		c.p.MarkNsPerByte*st.ScannedBytes + c.p.CopyNsPerByte*st.CopiedBytes
 	c.pauseWorld(serial, func(cpu, wall float64) {
 		c.resizeNursery()
-		c.logEvent(trace.GCYoung, st, cpu, wall)
+		c.logEvent(trace.GCYoung, st, cpu, wall, id, 0)
 		after()
 	})
 }
 
 // stwFull performs a stop-the-world full collection (or a degenerate one for
-// a concurrent collector that lost the race).
-func (c *Collector) stwFull(kind trace.GCKind, after func()) {
-	c.phaseStart(kind)
+// a concurrent collector that lost the race; cause is then the lost cycle).
+func (c *Collector) stwFull(kind trace.GCKind, cause int64, after func()) {
+	id := c.phaseStart(kind, cause)
 	st := c.heap.CollectFull()
 	serial := c.p.PauseFloorNS +
 		c.p.MarkNsPerByte*st.ScannedBytes + c.p.CopyNsPerByte*st.CopiedBytes
 	c.pauseWorld(serial, func(cpu, wall float64) {
 		c.resizeNursery()
-		c.logEvent(kind, st, cpu, wall)
+		c.logEvent(kind, st, cpu, wall, id, cause)
 		after()
 	})
 }
@@ -372,12 +404,12 @@ func (c *Collector) maybeStartMinorCycle() {
 // startCycle snapshots the heap, takes the initial tiny pause, and launches
 // concurrent workers.
 func (c *Collector) startCycle(minor bool) {
-	c.phaseStart(trace.GCConcurrent)
+	id := c.phaseStart(trace.GCConcurrent, 0)
 	snap, traced := c.heap.SnapshotForConcurrent()
 	if minor {
 		traced = c.heap.Young() * 0.5
 	}
-	cy := &cycleState{snap: snap, minor: minor, start: c.eng.Now(), cpuStart: c.concCPU()}
+	cy := &cycleState{id: id, snap: snap, minor: minor, start: c.eng.Now(), cpuStart: c.concCPU()}
 	c.cycle = cy
 	c.pauseWorld(c.p.TinyPauseNS, func(cpu, wall float64) {
 		if cy.cancelled {
@@ -430,6 +462,7 @@ func (c *Collector) tryFinishCycle(cy *cycleState) {
 		finalWork += c.p.CopyNsPerByte * st.ReclaimedBytes * c.p.MixedCopyFrac
 		kind = trace.GCMixed
 	}
+	c.activeID = cy.id // the final pause belongs to the finishing cycle
 	c.pauseWorld(finalWork, func(cpu, wall float64) {
 		concCPU := c.concCPU() - cy.cpuStart
 		c.cycle = nil
@@ -449,7 +482,7 @@ func (c *Collector) tryFinishCycle(cy *cycleState) {
 			UsedAfter: c.heap.Used(),
 			LiveAfter: c.heap.TargetLive(),
 		}
-		c.addEvent(ev)
+		c.addEvent(ev, cy.id, 0)
 	})
 }
 
@@ -476,7 +509,7 @@ func (c *Collector) cancelCycle() {
 		CPUNS:     c.concCPU() - cy.cpuStart,
 		UsedAfter: c.heap.Used(),
 		LiveAfter: c.heap.TargetLive(),
-	})
+	}, cy.id, 0)
 }
 
 // pauseWorld blocks every runnable mutator, executes serialCPU of GC work on
@@ -517,7 +550,7 @@ func (c *Collector) endPause(blocked []*sim.Thread, cpu float64, onEnd func(cpu,
 	wall := float64(now - c.pauseStart)
 	c.log.AddPause(trace.Pause{Start: c.pauseStart, End: now})
 	if c.rec.Enabled() {
-		c.rec.Record(obs.Event{Kind: obs.KindGCPause, TNS: now, DurNS: wall})
+		c.rec.Record(obs.Event{Kind: obs.KindGCPause, TNS: now, DurNS: wall, Cycle: c.activeID})
 	}
 	c.inPause = false
 	for _, m := range blocked {
@@ -539,7 +572,7 @@ func (c *Collector) endPause(blocked []*sim.Thread, cpu float64, onEnd func(cpu,
 }
 
 // logEvent records a completed STW collection.
-func (c *Collector) logEvent(kind trace.GCKind, st heap.CollectStats, cpu, wall float64) {
+func (c *Collector) logEvent(kind trace.GCKind, st heap.CollectStats, cpu, wall float64, id, cause int64) {
 	c.addEvent(trace.GCEvent{
 		Kind:      kind,
 		Start:     c.eng.Now() - int64(wall),
@@ -550,5 +583,5 @@ func (c *Collector) logEvent(kind trace.GCKind, st heap.CollectStats, cpu, wall 
 		Copied:    st.CopiedBytes,
 		UsedAfter: c.heap.Used(),
 		LiveAfter: c.heap.TargetLive(),
-	})
+	}, id, cause)
 }

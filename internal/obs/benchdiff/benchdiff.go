@@ -1,0 +1,326 @@
+// Package benchdiff is the statistical perf-regression gate: it compares
+// two sets of benchmark timings and decides — with a significance test, not
+// eyeballing — whether the new side got slower.
+//
+// Inputs come in either of the repo's two benchmark formats, sniffed
+// automatically: the BENCH_sim.json map written by cmd/benchjson
+// (name → {ns_per_op, …}, one sample per name), or raw `go test -bench`
+// text, where `-count=N` yields N samples per name. With three or more
+// samples on both sides a comparison runs the Mann-Whitney U test
+// (internal/stats) and flags a change only when it is both statistically
+// significant (p < Alpha) and practically large (|Δmedian| > Threshold);
+// with fewer samples there is no distribution to test, so the gate falls
+// back to the threshold alone. That keeps the gate honest in both regimes:
+// multi-sample runs cannot be failed by noise, and the checked-in
+// single-sample baseline still catches a 20% cliff.
+package benchdiff
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"chopin/internal/report"
+	"chopin/internal/stats"
+)
+
+// Samples maps benchmark name → ns/op timings (one per recorded run).
+type Samples map[string][]float64
+
+// measurement mirrors cmd/benchjson's JSON value shape.
+type measurement struct {
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// ParseFile loads benchmark samples from path, sniffing the format: a file
+// whose first non-space byte is '{' is a BENCH_sim.json map, anything else
+// is `go test -bench` text.
+func ParseFile(path string) (Samples, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Parse(strings.NewReader(string(data)))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Parse reads samples from r, sniffing the format as ParseFile does.
+func Parse(r io.Reader) (Samples, error) {
+	br := bufio.NewReader(r)
+	for {
+		c, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("benchdiff: empty input")
+		}
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			continue
+		}
+		br.UnreadByte()
+		if c == '{' {
+			return parseJSON(br)
+		}
+		return parseBenchText(br)
+	}
+}
+
+func parseJSON(r io.Reader) (Samples, error) {
+	var m map[string]measurement
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("benchdiff: bad JSON benchmark map: %w", err)
+	}
+	s := Samples{}
+	for name, meas := range m {
+		s[name] = append(s[name], meas.NsPerOp)
+	}
+	if len(s) == 0 {
+		return nil, fmt.Errorf("benchdiff: no benchmarks in JSON map")
+	}
+	return s, nil
+}
+
+// parseBenchText accumulates every matching line, so `go test -bench
+// -count=N` output yields N samples per benchmark name. The line regex is
+// shared with cmd/benchjson via its published shape (GOMAXPROCS suffix
+// stripped).
+func parseBenchText(r io.Reader) (Samples, error) {
+	s := Samples{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, ns, ok := parseBenchLine(sc.Text())
+		if !ok {
+			continue
+		}
+		s[name] = append(s[name], ns)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(s) == 0 {
+		return nil, fmt.Errorf("benchdiff: no benchmark lines found")
+	}
+	return s, nil
+}
+
+// parseBenchLine extracts (name, ns/op) from one `go test -bench` line.
+func parseBenchLine(line string) (string, float64, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", 0, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", 0, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the GOMAXPROCS suffix, matching cmd/benchjson.
+		if allDigits(name[i+1:]) {
+			name = name[:i]
+		}
+	}
+	var ns float64
+	if _, err := fmt.Sscanf(fields[2], "%g", &ns); err != nil {
+		return "", 0, false
+	}
+	if fields[3] != "ns/op" {
+		return "", 0, false
+	}
+	return name, ns, true
+}
+
+func allDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// Options tunes the gate's decision rule.
+type Options struct {
+	// Threshold is the minimum practically-significant |Δmedian| as a
+	// fraction of the old median (default 0.05 = 5%).
+	Threshold float64
+	// Alpha is the Mann-Whitney significance level applied when both sides
+	// have at least three samples (default 0.05).
+	Alpha float64
+	// BootstrapIters sizes the median bootstrap (default 1000).
+	BootstrapIters int
+	// Seed makes the bootstrap reproducible (default 1).
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threshold <= 0 {
+		o.Threshold = 0.05
+	}
+	if o.Alpha <= 0 {
+		o.Alpha = 0.05
+	}
+	if o.BootstrapIters <= 0 {
+		o.BootstrapIters = 1000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Verdict is the gate's decision for one benchmark.
+type Verdict int
+
+const (
+	// Unchanged means no significant difference was found.
+	Unchanged Verdict = iota
+	// Regression means the new side is significantly slower.
+	Regression
+	// Improvement means the new side is significantly faster.
+	Improvement
+	// OnlyOld and OnlyNew flag benchmarks present on one side alone
+	// (renamed, added or deleted) — reported, never failed on.
+	OnlyOld
+	OnlyNew
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Regression:
+		return "REGRESSION"
+	case Improvement:
+		return "improvement"
+	case OnlyOld:
+		return "deleted"
+	case OnlyNew:
+		return "added"
+	default:
+		return "~"
+	}
+}
+
+// Delta is the comparison result for one benchmark name.
+type Delta struct {
+	Name    string
+	Verdict Verdict
+	// OldMedian and NewMedian are ns/op; Pct is the relative change of the
+	// median ((new-old)/old).
+	OldMedian float64
+	NewMedian float64
+	Pct       float64
+	// P is the Mann-Whitney two-sided p-value, or 1 when either side has
+	// too few samples to test (Tested is then false).
+	P      float64
+	Tested bool
+	// NewLo and NewHi bracket the new median (95% bootstrap CI) when the
+	// new side has enough samples; both zero otherwise.
+	NewLo, NewHi float64
+	NOld, NNew   int
+}
+
+// Report is a full comparison: one Delta per benchmark name, sorted.
+type Report struct {
+	Deltas       []Delta
+	Regressions  int
+	Improvements int
+}
+
+// Compare runs the gate over two sample sets.
+func Compare(old, new Samples, opt Options) Report {
+	opt = opt.withDefaults()
+	names := map[string]bool{}
+	for n := range old {
+		names[n] = true
+	}
+	for n := range new {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	var rep Report
+	for _, name := range sorted {
+		o, n := old[name], new[name]
+		d := Delta{Name: name, NOld: len(o), NNew: len(n), P: 1}
+		switch {
+		case len(o) == 0:
+			d.Verdict = OnlyNew
+			d.NewMedian = stats.Median(n)
+		case len(n) == 0:
+			d.Verdict = OnlyOld
+			d.OldMedian = stats.Median(o)
+		default:
+			d.OldMedian = stats.Median(o)
+			d.NewMedian = stats.Median(n)
+			if d.OldMedian != 0 {
+				d.Pct = (d.NewMedian - d.OldMedian) / d.OldMedian
+			}
+			significant := false
+			if len(o) >= 3 && len(n) >= 3 {
+				d.Tested = true
+				_, d.P = stats.MannWhitneyU(o, n)
+				d.NewLo, d.NewHi = stats.BootstrapMedianCI(n, opt.BootstrapIters, opt.Seed)
+				significant = d.P < opt.Alpha
+			} else {
+				// Too few samples for a rank test: the threshold alone
+				// decides (the single-sample checked-in baseline regime).
+				significant = true
+			}
+			if significant {
+				switch {
+				case d.Pct > opt.Threshold:
+					d.Verdict = Regression
+					rep.Regressions++
+				case d.Pct < -opt.Threshold:
+					d.Verdict = Improvement
+					rep.Improvements++
+				}
+			}
+		}
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	return rep
+}
+
+// Render writes the report as a benchstat-style aligned table.
+func (r Report) Render(w io.Writer) {
+	t := report.NewTable("benchmark", "old ns/op", "new ns/op", "delta", "p", "samples", "verdict")
+	for _, d := range r.Deltas {
+		old, new, delta, p := "-", "-", "-", "-"
+		if d.NOld > 0 {
+			old = report.FormatFloat(d.OldMedian)
+		}
+		if d.NNew > 0 {
+			new = report.FormatFloat(d.NewMedian)
+		}
+		if d.NOld > 0 && d.NNew > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*d.Pct)
+			if d.Tested {
+				p = fmt.Sprintf("%.3f", d.P)
+			}
+		}
+		t.AddRow(d.Name, old, new, delta, p,
+			fmt.Sprintf("%d+%d", d.NOld, d.NNew), d.Verdict.String())
+	}
+	t.Render(w)
+	switch {
+	case r.Regressions > 0:
+		fmt.Fprintf(w, "\n%d regression(s), %d improvement(s)\n", r.Regressions, r.Improvements)
+	case r.Improvements > 0:
+		fmt.Fprintf(w, "\nno regressions, %d improvement(s)\n", r.Improvements)
+	default:
+		fmt.Fprintf(w, "\nno significant changes\n")
+	}
+}

@@ -1,0 +1,196 @@
+package benchdiff
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestParseJSON(t *testing.T) {
+	s, err := Parse(strings.NewReader(`{
+  "BenchmarkEngineStep/threads=8": {"ns_per_op":77.03,"b_per_op":0,"allocs_per_op":0,"iterations":4152824},
+  "BenchmarkEngineTimerHeavy": {"ns_per_op":236.2,"iterations":1502066}
+}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 2 {
+		t.Fatalf("parsed %d names, want 2", len(s))
+	}
+	if got := s["BenchmarkEngineStep/threads=8"]; len(got) != 1 || got[0] != 77.03 {
+		t.Fatalf("JSON sample = %v", got)
+	}
+}
+
+func TestParseBenchText(t *testing.T) {
+	s, err := ParseFile(filepath.Join("testdata", "old.bench.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 3 {
+		t.Fatalf("parsed %d names, want 3: %v", len(s), s)
+	}
+	// -count=5 accumulates five samples and the GOMAXPROCS suffix strips.
+	got := s["BenchmarkEngineStep/threads=8"]
+	if len(got) != 5 {
+		t.Fatalf("samples = %v, want 5 accumulated -count runs", got)
+	}
+	if got[0] != 77.10 {
+		t.Fatalf("first sample = %v, want 77.10", got[0])
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	if _, err := Parse(strings.NewReader("no benchmarks here\n")); err == nil {
+		t.Fatal("garbage input parsed without error")
+	}
+	if _, err := Parse(strings.NewReader("")); err == nil {
+		t.Fatal("empty input parsed without error")
+	}
+}
+
+func load(t *testing.T, name string) Samples {
+	t.Helper()
+	s, err := ParseFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestCompareRegression: the injected 20% EngineStep slowdown is caught,
+// and the two untouched benchmarks are not dragged along.
+func TestCompareRegression(t *testing.T) {
+	rep := Compare(load(t, "old.bench.txt"), load(t, "regression.bench.txt"), Options{})
+	if rep.Regressions != 1 {
+		t.Fatalf("regressions = %d, want 1\n%+v", rep.Regressions, rep.Deltas)
+	}
+	for _, d := range rep.Deltas {
+		switch d.Name {
+		case "BenchmarkEngineStep/threads=8":
+			if d.Verdict != Regression {
+				t.Fatalf("EngineStep verdict = %v, want Regression", d.Verdict)
+			}
+			if d.Pct < 0.15 || d.Pct > 0.25 {
+				t.Fatalf("EngineStep delta = %v, want ~+0.20", d.Pct)
+			}
+			if !d.Tested || d.P >= 0.05 {
+				t.Fatalf("EngineStep p = %v (tested=%v), want tested significant", d.P, d.Tested)
+			}
+			if d.NewLo > d.NewMedian || d.NewHi < d.NewMedian {
+				t.Fatalf("bootstrap CI [%v,%v] excludes median %v", d.NewLo, d.NewHi, d.NewMedian)
+			}
+		default:
+			if d.Verdict != Unchanged {
+				t.Fatalf("%s verdict = %v, want Unchanged", d.Name, d.Verdict)
+			}
+		}
+	}
+}
+
+func TestCompareImprovement(t *testing.T) {
+	rep := Compare(load(t, "old.bench.txt"), load(t, "improvement.bench.txt"), Options{})
+	if rep.Regressions != 0 || rep.Improvements != 1 {
+		t.Fatalf("regressions=%d improvements=%d, want 0/1\n%+v",
+			rep.Regressions, rep.Improvements, rep.Deltas)
+	}
+}
+
+func TestCompareNoChange(t *testing.T) {
+	rep := Compare(load(t, "old.bench.txt"), load(t, "nochange.bench.txt"), Options{})
+	if rep.Regressions != 0 || rep.Improvements != 0 {
+		t.Fatalf("noise flagged as change: regressions=%d improvements=%d\n%+v",
+			rep.Regressions, rep.Improvements, rep.Deltas)
+	}
+}
+
+func TestCompareIdenticalInputs(t *testing.T) {
+	s := load(t, "old.bench.txt")
+	rep := Compare(s, s, Options{})
+	if rep.Regressions != 0 || rep.Improvements != 0 {
+		t.Fatalf("identical inputs flagged: %+v", rep.Deltas)
+	}
+	for _, d := range rep.Deltas {
+		if d.Pct != 0 {
+			t.Fatalf("identical inputs produced nonzero delta: %+v", d)
+		}
+	}
+}
+
+// TestCompareSmallSampleFallback: with n=1 per side (the checked-in
+// BENCH_sim.json regime) there is no distribution to test, so the threshold
+// alone decides.
+func TestCompareSmallSampleFallback(t *testing.T) {
+	old := Samples{"BenchmarkX": {100}, "BenchmarkY": {100}}
+	rep := Compare(old, Samples{"BenchmarkX": {121}, "BenchmarkY": {103}}, Options{Threshold: 0.10})
+	if rep.Regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (threshold-only fallback)\n%+v",
+			rep.Regressions, rep.Deltas)
+	}
+	if d := rep.Deltas[0]; d.Name != "BenchmarkX" || d.Verdict != Regression || d.Tested {
+		t.Fatalf("small-n delta wrong: %+v", d)
+	}
+	if d := rep.Deltas[1]; d.Verdict != Unchanged {
+		t.Fatalf("3%% move under a 10%% threshold flagged: %+v", d)
+	}
+}
+
+// TestCompareSignificanceGuards: a large-looking delta backed by wildly
+// overlapping samples must NOT be flagged — that is the whole point of the
+// statistical gate.
+func TestCompareSignificanceGuards(t *testing.T) {
+	old := Samples{"BenchmarkX": {100, 180, 95, 170, 105}}
+	new := Samples{"BenchmarkX": {165, 98, 175, 102, 160}}
+	rep := Compare(old, new, Options{Threshold: 0.05})
+	if rep.Regressions != 0 {
+		t.Fatalf("noisy overlap flagged as regression: %+v", rep.Deltas)
+	}
+}
+
+// TestCompareAddedRemoved: names on one side only are reported, not failed.
+func TestCompareAddedRemoved(t *testing.T) {
+	rep := Compare(Samples{"BenchmarkGone": {50}}, Samples{"BenchmarkNew": {60}}, Options{})
+	if rep.Regressions != 0 || rep.Improvements != 0 {
+		t.Fatal("added/removed benchmarks counted as changes")
+	}
+	verdicts := map[string]Verdict{}
+	for _, d := range rep.Deltas {
+		verdicts[d.Name] = d.Verdict
+	}
+	if verdicts["BenchmarkGone"] != OnlyOld || verdicts["BenchmarkNew"] != OnlyNew {
+		t.Fatalf("verdicts = %v", verdicts)
+	}
+}
+
+// TestRenderGolden locks the benchstat-style table for the three fixture
+// comparisons.
+func TestRenderGolden(t *testing.T) {
+	old := load(t, "old.bench.txt")
+	var buf bytes.Buffer
+	for _, name := range []string{"regression", "improvement", "nochange"} {
+		rep := Compare(old, load(t, name+".bench.txt"), Options{})
+		buf.WriteString("== old vs " + name + " ==\n")
+		rep.Render(&buf)
+		buf.WriteString("\n")
+	}
+	path := filepath.Join("testdata", "render.golden")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("table drifted from golden (run with -update after intentional changes)\n--- got ---\n%s\n--- want ---\n%s",
+			buf.Bytes(), want)
+	}
+}

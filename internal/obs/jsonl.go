@@ -11,34 +11,51 @@ import (
 // JSONL is a Recorder that serializes events as one JSON object per line —
 // the interchange format cmd/obsreport consumes. Writes are buffered and
 // mutex-serialized, so pool workers recording concurrently never interleave
-// bytes within a line.
+// bytes within a line. Every event is stamped with a monotonically
+// increasing sequence number, and Close terminates the stream with a
+// run_end event, so decoders can tell a clean stream from a truncated one
+// and detect dropped events (DecodeStream).
 type JSONL struct {
 	mu   sync.Mutex
 	bw   *bufio.Writer
 	enc  *json.Encoder
-	err  error // first write error; subsequent records are dropped
+	sync func() error // underlying writer's Sync, when it has one
+	err  error        // first write error; subsequent records are dropped
 	seen int64
 }
 
 // NewJSONL wraps w in a JSONL recorder. The caller owns w; call Close to
-// flush buffered events before discarding the recorder or closing w.
+// flush buffered events before discarding the recorder or closing w. When w
+// has a Sync method (*os.File does), Close also syncs it, so a completed
+// stream survives a host crash immediately after the run.
 func NewJSONL(w io.Writer) *JSONL {
 	bw := bufio.NewWriterSize(w, 64<<10)
-	return &JSONL{bw: bw, enc: json.NewEncoder(bw)}
+	j := &JSONL{bw: bw, enc: json.NewEncoder(bw)}
+	if s, ok := w.(interface{ Sync() error }); ok {
+		j.sync = s.Sync
+	}
+	return j
 }
 
 // Enabled always reports true.
 func (j *JSONL) Enabled() bool { return true }
 
-// Record writes the event as one JSON line. The first write error sticks:
-// later events are dropped and the error is reported by Close, so a full
-// disk degrades telemetry rather than the experiment.
+// Record writes the event as one JSON line, stamping the stream's next
+// sequence number. The first write error sticks: later events are dropped
+// and the error is reported by Close, so a full disk degrades telemetry
+// rather than the experiment.
 func (j *JSONL) Record(e Event) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.record(e)
+}
+
+// record is Record without the lock, shared with Close.
+func (j *JSONL) record(e Event) {
 	if j.err != nil {
 		return
 	}
+	e.Seq = j.seen + 1
 	if err := j.enc.Encode(e); err != nil {
 		j.err = fmt.Errorf("obs: writing event: %w", err)
 		return
@@ -53,13 +70,23 @@ func (j *JSONL) Events() int64 {
 	return j.seen
 }
 
-// Close flushes buffered events and returns the first error encountered by
-// Record or the flush. It does not close the underlying writer.
+// Close terminates the stream with a run_end event (whose Value is the
+// number of events recorded before it), flushes buffered events, syncs the
+// underlying writer when it supports it, and returns the first error
+// encountered by Record, the flush or the sync. It does not close the
+// underlying writer. A stream decoded without a trailing run_end was
+// crash-truncated, not short.
 func (j *JSONL) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.record(Event{Kind: KindRunEnd, Value: float64(j.seen)})
 	if err := j.bw.Flush(); err != nil && j.err == nil {
 		j.err = fmt.Errorf("obs: flushing events: %w", err)
+	}
+	if j.sync != nil {
+		if err := j.sync(); err != nil && j.err == nil {
+			j.err = fmt.Errorf("obs: syncing events: %w", err)
+		}
 	}
 	return j.err
 }
@@ -81,4 +108,71 @@ func DecodeJSONL(r io.Reader, fn func(Event) error) error {
 			return err
 		}
 	}
+}
+
+// StreamInfo summarizes the integrity of a decoded telemetry stream.
+type StreamInfo struct {
+	// Events is the number of events decoded (including the run_end).
+	Events int64
+	// Clean reports that the stream ended with a run_end event: the sink
+	// was closed in an orderly fashion. A false Clean means the producing
+	// run crashed or was killed mid-stream.
+	Clean bool
+	// Gaps counts sequence numbers skipped between consecutive events —
+	// events that were recorded (or claimed) upstream but never reached the
+	// stream. Zero on a healthy file.
+	Gaps int64
+	// OutOfOrder counts events whose sequence number did not increase over
+	// the previous one (reordered or duplicated lines).
+	OutOfOrder int64
+	// Unsequenced counts events with no sequence number at all (streams
+	// written before sequencing, or events hand-built in tests).
+	Unsequenced int64
+}
+
+// Err returns a non-nil error describing the first integrity problem the
+// info records (truncation, gaps, reordering), or nil for a healthy stream.
+func (s StreamInfo) Err() error {
+	switch {
+	case !s.Clean:
+		return fmt.Errorf("obs: stream truncated: %d events and no run_end", s.Events)
+	case s.Gaps > 0:
+		return fmt.Errorf("obs: stream dropped %d events (sequence gaps)", s.Gaps)
+	case s.OutOfOrder > 0:
+		return fmt.Errorf("obs: %d events out of sequence order", s.OutOfOrder)
+	}
+	return nil
+}
+
+// DecodeStream reads a JSONL telemetry stream like DecodeJSONL while
+// auditing its integrity: sequence-number gaps, reordering, and whether the
+// stream terminates with a clean run_end. The returned StreamInfo is valid
+// even when decoding aborts early (the prefix is audited); fn also receives
+// the terminal run_end event.
+func DecodeStream(r io.Reader, fn func(Event) error) (StreamInfo, error) {
+	var info StreamInfo
+	var lastSeq int64
+	err := DecodeJSONL(r, func(e Event) error {
+		info.Events++
+		info.Clean = e.Kind == KindRunEnd // only counts if nothing follows
+		switch {
+		case e.Seq == 0:
+			info.Unsequenced++
+		case e.Seq <= lastSeq:
+			info.OutOfOrder++
+		default:
+			if lastSeq != 0 && e.Seq != lastSeq+1 {
+				info.Gaps += e.Seq - lastSeq - 1
+			}
+			lastSeq = e.Seq
+		}
+		if fn != nil {
+			return fn(e)
+		}
+		return nil
+	})
+	if err != nil {
+		info.Clean = false
+	}
+	return info, err
 }

@@ -70,6 +70,15 @@ const (
 	// KindMinHeap records a completed minimum-heap measurement; Value is the
 	// measured bound in MB.
 	KindMinHeap
+	// KindSample is one continuous-sampling tick (internal/obs/sample): a
+	// fixed-virtual-interval reading of heap occupancy, live-set estimate,
+	// CPU utilization split and pacer-throttle fraction, carried in the
+	// dedicated sampling fields.
+	KindSample
+	// KindRunEnd terminates a telemetry stream: the JSONL sink writes it on
+	// Close, so a decoded stream without one is crash-truncated rather than
+	// merely short. Value carries the number of events recorded before it.
+	KindRunEnd
 )
 
 var kindNames = [...]string{
@@ -85,6 +94,8 @@ var kindNames = [...]string{
 	KindCacheHit:     "cache-hit",
 	KindCacheMiss:    "cache-miss",
 	KindMinHeap:      "minheap",
+	KindSample:       "sample",
+	KindRunEnd:       "run_end",
 }
 
 func (k Kind) String() string {
@@ -121,6 +132,11 @@ func (k *Kind) UnmarshalText(b []byte) error {
 // one on an enabled path allocates nothing; unused fields marshal away.
 type Event struct {
 	Kind Kind `json:"kind"`
+	// Seq is the event's position in its stream, assigned by the JSONL sink
+	// (1, 2, 3, …). Decoders use it to surface dropped or reordered events
+	// (DecodeStream); zero means the event never passed through a
+	// seq-assigning sink.
+	Seq int64 `json:"seq,omitempty"`
 	// TNS is the event's timestamp in nanoseconds. Events emitted from
 	// inside a simulation carry virtual time; engine-level job events carry
 	// host wall-clock time (the two layers are never compared).
@@ -143,6 +159,25 @@ type Event struct {
 	// transition counts, measured heap MB).
 	Value float64 `json:"value,omitempty"`
 	Aux   float64 `json:"aux,omitempty"`
+	// Cycle is the collection the event belongs to: collectors assign every
+	// collection (young, full, concurrent cycle) a per-run ID, stamped on
+	// its phase-start/phase-end and gc-pause events. The span builder uses
+	// it to nest pauses inside their cycle.
+	Cycle int64 `json:"cycle,omitempty"`
+	// Cause is the ID of the cycle that *caused* this event without owning
+	// it: the concurrent cycle whose pacer stalled an allocation
+	// (pacer-stall), or the cancelled cycle behind a degeneration.
+	Cause int64 `json:"cause,omitempty"`
+	// Sampling fields (KindSample). HeapUsed and LiveEst are bytes at the
+	// tick; MutFrac and GCFrac split machine CPU capacity over the interval
+	// since the previous emitted sample (idle is the remainder); StallFrac
+	// is pacer-stall wall time per wall time over the same interval (can
+	// exceed 1 when several mutators stall concurrently).
+	HeapUsed  float64 `json:"heap_used,omitempty"`
+	LiveEst   float64 `json:"live_est,omitempty"`
+	MutFrac   float64 `json:"mut_frac,omitempty"`
+	GCFrac    float64 `json:"gc_frac,omitempty"`
+	StallFrac float64 `json:"stall_frac,omitempty"`
 	// Err is the failure message on job-finish of a failed job, or "oom".
 	Err string `json:"err,omitempty"`
 }

@@ -48,11 +48,11 @@ func TestJSONLRoundTrip(t *testing.T) {
 	for _, e := range want {
 		j.Record(e)
 	}
-	if err := j.Close(); err != nil {
-		t.Fatal(err)
-	}
 	if j.Events() != int64(len(want)) {
 		t.Fatalf("Events() = %d, want %d", j.Events(), len(want))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
 	}
 	var got []Event
 	if err := DecodeJSONL(&buf, func(e Event) error {
@@ -61,13 +61,20 @@ func TestJSONLRoundTrip(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != len(want) {
-		t.Fatalf("decoded %d events, want %d", len(got), len(want))
+	// The sink stamps sequence numbers and terminates the stream with a
+	// run_end event on Close.
+	if len(got) != len(want)+1 {
+		t.Fatalf("decoded %d events, want %d + run_end", len(got), len(want))
 	}
 	for i := range want {
+		want[i].Seq = int64(i + 1)
 		if got[i] != want[i] {
 			t.Errorf("event %d: got %+v, want %+v", i, got[i], want[i])
 		}
+	}
+	end := got[len(got)-1]
+	if end.Kind != KindRunEnd || end.Value != float64(len(want)) || end.Seq != int64(len(want)+1) {
+		t.Errorf("terminal event = %+v, want run_end over %d events", end, len(want))
 	}
 }
 
@@ -86,8 +93,79 @@ func TestDecodeJSONLTruncated(t *testing.T) {
 	if err == nil {
 		t.Fatal("truncated stream decoded without error")
 	}
-	if n != 1 {
-		t.Fatalf("decoded %d whole events before the tear, want 1", n)
+	// The tear lands inside the run_end line, so both real events survive.
+	if n != 2 {
+		t.Fatalf("decoded %d whole events before the tear, want 2", n)
+	}
+}
+
+// TestDecodeStreamIntegrity is the truncation-detection contract: a closed
+// stream audits clean, a stream cut on a line boundary (no decode error, but
+// no run_end either) is flagged truncated, and dropped lines surface as
+// sequence gaps rather than silently skewing downstream analysis.
+func TestDecodeStreamIntegrity(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	j.Record(Event{Kind: KindCacheHit, TNS: 1})
+	j.Record(Event{Kind: KindCacheMiss, TNS: 2})
+	j.Record(Event{Kind: KindGCPause, TNS: 3, DurNS: 10})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := DecodeStream(bytes.NewReader(buf.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Clean || info.Gaps != 0 || info.OutOfOrder != 0 || info.Events != 4 {
+		t.Fatalf("clean stream audited %+v", info)
+	}
+	if info.Err() != nil {
+		t.Fatalf("clean stream reported %v", info.Err())
+	}
+
+	lines := strings.SplitAfter(buf.String(), "\n")
+	// Cut the stream on a line boundary before run_end: decoding succeeds,
+	// so only the missing run_end distinguishes this from a short run.
+	cut := strings.Join(lines[:2], "")
+	info, err = DecodeStream(strings.NewReader(cut), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Clean {
+		t.Fatal("truncated stream audited clean")
+	}
+	if info.Err() == nil {
+		t.Fatal("truncated stream reported no error")
+	}
+
+	// Drop a middle line: the sequence gap must surface.
+	dropped := lines[0] + lines[2] + lines[3]
+	info, err = DecodeStream(strings.NewReader(dropped), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Gaps != 1 || !info.Clean {
+		t.Fatalf("dropped line audited %+v, want 1 gap on a clean-ended stream", info)
+	}
+
+	// Swap two lines: reordering must surface.
+	swapped := lines[1] + lines[0] + lines[2] + lines[3]
+	info, err = DecodeStream(strings.NewReader(swapped), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.OutOfOrder == 0 {
+		t.Fatalf("reordered stream audited %+v, want out-of-order events", info)
+	}
+
+	// Unsequenced hand-built events audit as such, not as gaps.
+	info, err = DecodeStream(strings.NewReader(`{"kind":"oom","t_ns":1}`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Unsequenced != 1 || info.Gaps != 0 {
+		t.Fatalf("unsequenced stream audited %+v", info)
 	}
 }
 
@@ -113,17 +191,22 @@ func TestJSONLConcurrent(t *testing.T) {
 		t.Fatal(err)
 	}
 	var n int
+	var lastSeq int64
 	if err := DecodeJSONL(&buf, func(e Event) error {
-		if e.Kind != KindJobFinish {
+		if e.Kind != KindJobFinish && e.Kind != KindRunEnd {
 			t.Errorf("interleaved write corrupted an event: %+v", e)
 		}
+		if e.Seq != lastSeq+1 {
+			t.Errorf("sequence broke: %d after %d", e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
 		n++
 		return nil
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if n != workers*per {
-		t.Fatalf("decoded %d events, want %d", n, workers*per)
+	if n != workers*per+1 {
+		t.Fatalf("decoded %d events, want %d + run_end", n, workers*per)
 	}
 }
 

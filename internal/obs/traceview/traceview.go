@@ -1,0 +1,225 @@
+// Package traceview renders span trees (internal/obs/span) for humans: as
+// Chrome trace-event JSON loadable in Perfetto / chrome://tracing, or as a
+// plain-text timeline for terminals.
+//
+// # Chrome trace-event mapping
+//
+// Each run becomes one process (pid 1, 2, … in tree order) named by its
+// run key, benchmark and collector; each track becomes one named thread
+// within it (gc=1, stw=2, mutator=3, sched=4). Spans emit complete ("X")
+// events with microsecond timestamps, marks emit instant ("i") events, and
+// the sampled series emits two counter ("C") tracks — heap occupancy /
+// live estimate in MB, and the mutator/GC/stall utilization split.
+//
+// The JSON is hand-assembled rather than reflect-marshalled so field order
+// is stable ({"name",…,"ph","ts","dur","pid","tid","args"}) — byte-level
+// reproducibility is what lets a golden file lock the format.
+package traceview
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"chopin/internal/obs/span"
+)
+
+// trackTIDs fixes the thread ID and ordering of each track within a
+// process. Counters use tid 0 so they render above the span rows.
+var trackTIDs = map[string]int{
+	span.TrackGC:      1,
+	span.TrackSTW:     2,
+	span.TrackMutator: 3,
+	span.TrackSched:   4,
+}
+
+// trackOrder is the rendering order of tracks (timeline and thread
+// metadata alike).
+var trackOrder = []string{span.TrackGC, span.TrackSTW, span.TrackMutator, span.TrackSched}
+
+// WriteChromeTrace writes the trees as one Chrome trace-event JSON object.
+// The output loads directly in Perfetto (ui.perfetto.dev) and
+// chrome://tracing.
+func WriteChromeTrace(w io.Writer, trees []*span.Tree) error {
+	bw := &errWriter{w: w}
+	bw.str(`{"traceEvents":[`)
+	first := true
+	emit := func(line string) {
+		if !first {
+			bw.str(",\n")
+		} else {
+			bw.str("\n")
+		}
+		first = false
+		bw.str(line)
+	}
+
+	for pi, tr := range trees {
+		pid := pi + 1
+		label := tr.Run
+		if label == "" {
+			label = "run"
+		}
+		if tr.Benchmark != "" || tr.Collector != "" {
+			label = fmt.Sprintf("%s (%s/%s)", label, tr.Benchmark, tr.Collector)
+		}
+		emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}}`,
+			pid, jstr(label)))
+		for _, track := range trackOrder {
+			emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
+				pid, trackTIDs[track], jstr(track)))
+		}
+
+		for _, s := range tr.Spans {
+			args := fmt.Sprintf(`{"span_id":%d,"parent":%d,"cycle":%d`, s.ID, s.Parent, s.Cycle)
+			if s.Cause != 0 {
+				args += fmt.Sprintf(`,"cause":%d`, s.Cause)
+			}
+			if s.CPUNS != 0 {
+				args += `,"gc_cpu_ms":` + jnum(s.CPUNS/1e6)
+			}
+			if s.Value != 0 {
+				args += `,"value":` + jnum(s.Value)
+			}
+			if s.Open {
+				args += `,"truncated":true`
+			}
+			args += "}"
+			emit(fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d,"args":%s}`,
+				jstr(s.Name), jstr(s.Track), usec(s.Start), usec(s.DurNS()), pid, trackTIDs[s.Track], args))
+		}
+
+		for _, m := range tr.Marks {
+			emit(fmt.Sprintf(`{"name":%s,"cat":"mark","ph":"i","ts":%s,"pid":%d,"tid":%d,"s":"p","args":{"cause":%d}}`,
+				jstr(m.Name), usec(m.TNS), pid, trackTIDs[span.TrackGC], m.Cause))
+		}
+
+		for _, smp := range tr.Samples {
+			emit(fmt.Sprintf(`{"name":"heap","ph":"C","ts":%s,"pid":%d,"tid":0,"args":{"used_mb":%s,"live_mb":%s}}`,
+				usec(smp.TNS), pid, jnum(smp.HeapUsed/(1<<20)), jnum(smp.LiveEst/(1<<20))))
+			emit(fmt.Sprintf(`{"name":"cpu","ph":"C","ts":%s,"pid":%d,"tid":0,"args":{"mutator":%s,"gc":%s,"stall":%s}}`,
+				usec(smp.TNS), pid, jnum(smp.MutFrac), jnum(smp.GCFrac), jnum(smp.StallFrac)))
+		}
+	}
+	bw.str("\n],\"displayTimeUnit\":\"ms\"}\n")
+	return bw.err
+}
+
+// usec renders virtual nanoseconds as the microsecond JSON number the
+// trace-event spec expects.
+func usec(ns int64) string { return jnum(float64(ns) / 1e3) }
+
+// jnum formats a float as a minimal JSON number (no exponent surprises for
+// the magnitudes involved; -1 precision keeps it shortest-roundtrip).
+func jnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// jstr JSON-quotes a string.
+func jstr(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) str(s string) {
+	if e.err == nil {
+		_, e.err = io.WriteString(e.w, s)
+	}
+}
+
+// WriteTimeline renders each tree as a fixed-width text timeline: one bar
+// per track where a cell is filled when any span covers it, with per-track
+// totals alongside and marks flagged beneath. Width is the bar width in
+// cells (minimum 10; 0 selects 72).
+func WriteTimeline(w io.Writer, trees []*span.Tree, width int) error {
+	if width <= 0 {
+		width = 72
+	}
+	if width < 10 {
+		width = 10
+	}
+	bw := &errWriter{w: w}
+	for ti, tr := range trees {
+		if ti > 0 {
+			bw.str("\n")
+		}
+		head := tr.Run
+		if head == "" {
+			head = "(run)"
+		}
+		if tr.Benchmark != "" || tr.Collector != "" {
+			head += fmt.Sprintf("  %s/%s", tr.Benchmark, tr.Collector)
+		}
+		bw.str(fmt.Sprintf("%s  [0 .. %s]\n", head, fmtNS(tr.EndNS)))
+		if tr.EndNS <= 0 {
+			continue
+		}
+		scale := float64(width) / float64(tr.EndNS)
+		for _, track := range trackOrder {
+			cells := make([]byte, width)
+			for i := range cells {
+				cells[i] = '.'
+			}
+			var total float64
+			count := 0
+			for _, s := range tr.Spans {
+				if s.Track != track {
+					continue
+				}
+				count++
+				total += float64(s.DurNS())
+				lo := int(float64(s.Start) * scale)
+				hi := int(float64(s.End) * scale)
+				if hi >= width {
+					hi = width - 1
+				}
+				// A span always occupies at least its starting cell, so
+				// short pauses stay visible.
+				for i := lo; i <= hi; i++ {
+					cells[i] = '#'
+				}
+			}
+			bw.str(fmt.Sprintf("  %-7s |%s| %4d span(s) %10s %5.1f%%\n",
+				track, cells, count, fmtNS(int64(total)),
+				100*total/float64(tr.EndNS)))
+		}
+		// A degenerating run can carry thousands of marks; print the first
+		// few and summarize the rest rather than flooding the terminal.
+		const maxMarks = 8
+		for i, m := range tr.Marks {
+			if i == maxMarks {
+				bw.str(fmt.Sprintf("  %-7s … and %d more mark(s)\n", "!", len(tr.Marks)-maxMarks))
+				break
+			}
+			pos := int(float64(m.TNS) * scale)
+			if pos >= width {
+				pos = width - 1
+			}
+			bw.str(fmt.Sprintf("  %-7s |%s^ %s at %s\n",
+				"!", strings.Repeat(" ", pos), m.Name, fmtNS(m.TNS)))
+		}
+		if n := len(tr.Samples); n > 0 {
+			bw.str(fmt.Sprintf("  %d samples\n", n))
+		}
+	}
+	return bw.err
+}
+
+// fmtNS renders nanoseconds with a readable unit.
+func fmtNS(ns int64) string {
+	switch v := float64(ns); {
+	case v >= 1e9:
+		return fmt.Sprintf("%.3gs", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.3gms", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.3gus", v/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -44,6 +44,9 @@ func (e *Engine) stepReference() bool {
 		if at > e.now {
 			e.now = at
 		}
+		if e.now >= e.nextSample {
+			e.crossSamples()
+		}
 		e.fireTimers()
 		e.events++
 		return true
@@ -68,8 +71,13 @@ func (e *Engine) stepReference() bool {
 		dt = 0
 	}
 
-	// Advance the segment, eagerly crediting every runnable thread.
+	// Advance the segment, eagerly crediting every runnable thread (sampling
+	// fires at the same point as the fast stepper, keeping the differential
+	// oracle's event stream identical).
 	e.now += dt
+	if e.now >= e.nextSample {
+		e.crossSamples()
+	}
 	progress := dt * rate
 	e.finished = e.finished[:0]
 	for _, t := range e.runnable {

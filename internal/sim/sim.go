@@ -122,6 +122,15 @@ type Engine struct {
 	lastQE int64
 	lastQF int64
 
+	// Continuous-sampling hook (SetSampler): when armed, the stepper calls
+	// onSample at every crossed multiple of sampleEvery virtual nanoseconds.
+	// Disarmed, nextSample is +Inf and the per-step cost is one float
+	// compare — the hot path stays allocation-free and within the engine
+	// benchmark budget.
+	sampleEvery float64
+	nextSample  float64
+	onSample    func(tNS float64)
+
 	// scratch buffers reused across steps to avoid per-step allocation.
 	batch    []*Thread // fast stepper: threads completing this segment
 	runnable []*Thread // reference stepper: runnable-set rescan
@@ -135,7 +144,8 @@ func NewEngine(hw int, capacity CapacityFunc) *Engine {
 	if hw < 1 {
 		panic(fmt.Sprintf("sim: hw threads must be >= 1, got %d", hw))
 	}
-	e := &Engine{hw: hw, capacity: capacity, maxEv: math.MaxInt64, rec: obs.Nop}
+	e := &Engine{hw: hw, capacity: capacity, maxEv: math.MaxInt64, rec: obs.Nop,
+		nextSample: math.Inf(1)}
 	if e.capacity == nil {
 		e.capacity = func(n int) float64 {
 			if n > hw {
@@ -170,6 +180,35 @@ func (e *Engine) TimerFires() int64 { return e.timerFires }
 func (e *Engine) SetRecorder(r obs.Recorder) {
 	e.rec = obs.Or(r)
 	e.recOn = e.rec.Enabled()
+}
+
+// SetSampler arms the continuous-sampling hook: fn is called once per
+// crossed multiple of intervalNS virtual nanoseconds, with the boundary time
+// as its argument, from inside the stepper immediately after time advances
+// past it (so the machine state fn observes is the state at the first event
+// boundary at or after the tick). A nil fn or non-positive interval disarms
+// the hook. Sampling happens on virtual time, not timers, so an armed
+// sampler never keeps an otherwise-quiescent simulation alive.
+func (e *Engine) SetSampler(intervalNS float64, fn func(tNS float64)) {
+	if fn == nil || intervalNS <= 0 {
+		e.sampleEvery, e.onSample = 0, nil
+		e.nextSample = math.Inf(1)
+		return
+	}
+	e.sampleEvery = intervalNS
+	e.onSample = fn
+	// First tick at the next boundary strictly after now.
+	e.nextSample = (math.Floor(e.now/intervalNS) + 1) * intervalNS
+}
+
+// crossSamples dispatches the sampling hook for every interval boundary the
+// stepper just crossed. It is kept out of Step's body so the disarmed path
+// costs only the inlined float compare.
+func (e *Engine) crossSamples() {
+	for e.now >= e.nextSample {
+		e.onSample(e.nextSample)
+		e.nextSample += e.sampleEvery
+	}
 }
 
 // SetEventLimit caps the number of events Run will process before giving up;
@@ -280,6 +319,9 @@ func (e *Engine) Step() bool {
 		if at > e.now {
 			e.now = at
 		}
+		if e.now >= e.nextSample {
+			e.crossSamples()
+		}
 		e.fireTimers()
 		e.events++
 		return true
@@ -317,6 +359,9 @@ func (e *Engine) Step() bool {
 	// credit advance; nothing per-thread is touched.
 	e.now += dt
 	e.vs += dt * rate
+	if e.now >= e.nextSample {
+		e.crossSamples()
+	}
 
 	// Collect quantum completions: every live entry whose credit is reached.
 	e.batch = e.batch[:0]

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// This file holds the two-sample machinery the perf-regression gate
+// (internal/obs/benchdiff) builds on: a distribution-free location test and
+// a resampled confidence interval on the median. Benchmark timing samples
+// are small, skewed and contaminated by scheduler noise, so the normal-
+// theory tools above (Student-t CIs on means) are the wrong instrument —
+// rank and resampling statistics are the standard replacements (what
+// benchstat uses).
+
+// finite filters xs down to its ordinary numbers, per the package contract.
+func finite(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if isFinite(x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Median returns the 50th percentile of the finite values of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// MannWhitneyU performs the two-sided Mann-Whitney U test (Wilcoxon
+// rank-sum) on two independent samples. It returns the U statistic of the
+// smaller-rank side and the two-sided p-value from the normal approximation
+// with tie correction and continuity correction — accurate enough for the
+// n >= 3 sample counts a benchmark gate sees, with no distributional
+// assumption on the timings themselves.
+//
+// Degenerate inputs (an empty side, or all values tied so the rank variance
+// vanishes) return p = 1: no evidence of a difference.
+func MannWhitneyU(a, b []float64) (u, p float64) {
+	a, b = finite(a), finite(b)
+	n1, n2 := float64(len(a)), float64(len(b))
+	if n1 == 0 || n2 == 0 {
+		return 0, 1
+	}
+
+	type obs struct {
+		v    float64
+		from int // 0 = a, 1 = b
+	}
+	all := make([]obs, 0, len(a)+len(b))
+	for _, x := range a {
+		all = append(all, obs{x, 0})
+	}
+	for _, x := range b {
+		all = append(all, obs{x, 1})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Midranks for ties, accumulating the tie-correction term Σ(t³−t).
+	n := len(all)
+	ranks := make([]float64, n)
+	var tieTerm float64
+	for i := 0; i < n; {
+		j := i
+		for j < n && all[j].v == all[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		if t := float64(j - i); t > 1 {
+			tieTerm += t*t*t - t
+		}
+		i = j
+	}
+
+	var r1 float64
+	for i, o := range all {
+		if o.from == 0 {
+			r1 += ranks[i]
+		}
+	}
+	u1 := r1 - n1*(n1+1)/2
+	u2 := n1*n2 - u1
+	u = math.Min(u1, u2)
+
+	nn := n1 + n2
+	variance := n1 * n2 / 12 * ((nn + 1) - tieTerm/(nn*(nn-1)))
+	if variance <= 0 {
+		return u, 1 // every observation tied: the test carries no information
+	}
+	mu := n1 * n2 / 2
+	z := (math.Abs(u-mu) - 0.5) / math.Sqrt(variance)
+	if z < 0 {
+		z = 0
+	}
+	p = math.Erfc(z / math.Sqrt2) // two-sided tail of the standard normal
+	if p > 1 {
+		p = 1
+	}
+	return u, p
+}
+
+// BootstrapMedianCI returns a 95% percentile-bootstrap confidence interval
+// for the median of xs: iters resamples with replacement, each reduced to
+// its median, with the interval read off the 2.5th and 97.5th percentiles
+// of that bootstrap distribution. The generator is explicitly seeded so
+// reports are reproducible run to run.
+//
+// Fewer than two finite samples yield a zero-width interval at the sample
+// value (there is nothing to resample).
+func BootstrapMedianCI(xs []float64, iters int, seed uint64) (lo, hi float64) {
+	xs = finite(xs)
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	if len(xs) == 1 {
+		return xs[0], xs[0]
+	}
+	if iters <= 0 {
+		iters = 1000
+	}
+	rng := rand.New(rand.NewSource(int64(seed)))
+	meds := make([]float64, iters)
+	resample := make([]float64, len(xs))
+	for i := 0; i < iters; i++ {
+		for j := range resample {
+			resample[j] = xs[rng.Intn(len(xs))]
+		}
+		sort.Float64s(resample)
+		meds[i] = PercentileSorted(resample, 50)
+	}
+	sort.Float64s(meds)
+	return PercentileSorted(meds, 2.5), PercentileSorted(meds, 97.5)
+}

