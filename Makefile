@@ -11,22 +11,38 @@ tier1:
 test:
 	go test ./...
 
-# Simulator/engine microbenchmarks: ns/op and allocs/op for the scheduler
-# hot path, captured to BENCH_sim.json so perf regressions are diffable.
+# Hot-path microbenchmarks: the scheduler (BenchmarkEngine*, internal/sim)
+# and the end-to-end invocation path (BenchmarkRunInvocation*, root package,
+# one sub-benchmark per collector). ns/op and allocs/op are captured to
+# BENCH_sim.json so perf — and the hot path's zero-allocation contract — are
+# diffable.
 .PHONY: bench
 bench:
-	go test -run='^$$' -bench='BenchmarkEngine' -benchmem -benchtime=300ms \
-		./internal/sim | go run ./cmd/benchjson -out BENCH_sim.json
+	( go test -run='^$$' -bench='BenchmarkEngine' -benchmem -benchtime=300ms \
+		./internal/sim && \
+	  go test -run='^$$' -bench='BenchmarkRunInvocation' -benchmem . ) \
+		| go run ./cmd/benchjson -out BENCH_sim.json
 
-# Statistical perf-regression gate: run the scheduler microbenchmarks five
-# times and compare the timing distributions against the committed
-# BENCH_sim.json baseline with cmd/benchdiff (Mann-Whitney + median
-# threshold). Fails on a statistically significant regression beyond 10%.
+# Statistical perf-regression gate: run the hot-path microbenchmarks five
+# times and compare the distributions against the committed BENCH_sim.json
+# baseline with cmd/benchdiff (Mann-Whitney + median threshold, on ns/op,
+# B/op and allocs/op). Fails on a statistically significant regression beyond
+# 10% — and on ANY allocation where the baseline records zero.
 .PHONY: bench-gate
 bench-gate:
-	go test -run='^$$' -bench='BenchmarkEngine' -benchmem -benchtime=300ms \
-		-count=5 ./internal/sim | tee bench-gate.txt
+	( go test -run='^$$' -bench='BenchmarkEngine' -benchmem -benchtime=300ms \
+		-count=5 ./internal/sim && \
+	  go test -run='^$$' -bench='BenchmarkRunInvocation' -benchmem -count=5 . ) \
+		| tee bench-gate.txt
 	go run ./cmd/benchdiff -threshold 0.10 BENCH_sim.json bench-gate.txt
+
+# CPU and heap profiles for the invocation hot path; inspect with
+# `go tool pprof cpu.pprof` / `go tool pprof -sample_index=alloc_objects
+# mem.pprof`.
+.PHONY: bench-profile
+bench-profile:
+	go test -run='^$$' -bench='BenchmarkRunInvocation' -benchmem \
+		-cpuprofile cpu.pprof -memprofile mem.pprof .
 
 # Figure/table regeneration benches (reduced sizes; minutes, not hours).
 .PHONY: bench-figures

@@ -442,6 +442,74 @@ func BenchmarkEngineWarmCache(b *testing.B) {
 	}
 }
 
+// BenchmarkRunInvocation measures the invocation hot path end to end: one
+// complete closed-loop run (2 iterations x 1000 events) per collector, with
+// -benchmem. The pooled continuation frames and the collector's
+// bump-allocation fast path make the per-event path allocation-free, so
+// allocs/op here is the constant per-run setup (engine, threads, heap,
+// result buffers) independent of event count — TestRunInvocationMarginalAllocs
+// locks that property, and `make bench-gate` diffs these numbers against the
+// committed BENCH_sim.json baseline.
+func BenchmarkRunInvocation(b *testing.B) {
+	for _, kind := range gc.AllKinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := workload.Run(workload.Spring, workload.RunConfig{
+					HeapMB: 2 * workload.Spring.MinHeapMB, Collector: kind,
+					Iterations: 2, Events: 1000, Seed: 42,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = res
+			}
+		})
+	}
+}
+
+// BenchmarkRunInvocationOpenLoop is the open-loop counterpart: scheduled
+// arrivals, queueing, and the shared arrival timer callback.
+func BenchmarkRunInvocationOpenLoop(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := workload.Run(workload.Spring, workload.RunConfig{
+			HeapMB: 2 * workload.Spring.MinHeapMB, Collector: gc.G1,
+			Iterations: 2, Events: 1000, Seed: 42,
+			OpenLoop: true, OpenLoopHeadroom: 1.5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestRunInvocationMarginalAllocs pins the hot path's allocation discipline:
+// growing a run by 2000 events must cost (near) zero additional Go
+// allocations, because event frames recycle through the runner's free list
+// and the collector's fast path allocates nothing. The small slack covers
+// amortized growth of the trace log's event/pause slices.
+func TestRunInvocationMarginalAllocs(t *testing.T) {
+	run := func(events int) float64 {
+		return testing.AllocsPerRun(3, func() {
+			_, err := workload.Run(workload.Spring, workload.RunConfig{
+				HeapMB: 2 * workload.Spring.MinHeapMB, Collector: gc.G1,
+				Iterations: 2, Events: events, Seed: 42,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	base := run(500)
+	big := run(2500)
+	marginal := (big - base) / 2000
+	if marginal > 0.5 {
+		t.Errorf("marginal cost = %.2f allocs/event (runs: %v -> %v), want ~0 — "+
+			"the hot path is allocating per event again", marginal, base, big)
+	}
+}
+
 // BenchmarkSimulatorThroughput measures the substrate itself: simulated
 // events per second of host time for a typical configuration.
 func BenchmarkSimulatorThroughput(b *testing.B) {

@@ -1,11 +1,14 @@
 // Command benchdiff is the statistical perf-regression gate: it compares
 // two benchmark result files and exits non-zero when the new side is
-// significantly slower.
+// significantly worse — slower (ns/op) or allocating more (B/op,
+// allocs/op, compared whenever both sides carry the -benchmem columns).
 //
 // Each input is either a BENCH_sim.json-style map (cmd/benchjson output) or
 // raw `go test -bench` text; `-count=N` text carries N samples per
 // benchmark, enabling the Mann-Whitney significance test. With fewer than
-// three samples per side the relative-threshold rule alone decides.
+// three samples per side the relative-threshold rule alone decides; a
+// metric whose old median is exactly zero regresses on any nonzero new
+// value (0 allocs/op is a contract, not a baseline).
 //
 // Usage:
 //

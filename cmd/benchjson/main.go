@@ -31,9 +31,12 @@ type Measurement struct {
 	Iterations  int64   `json:"iterations"`
 }
 
-// benchLine matches `BenchmarkName-8   123456   78.9 ns/op [ 0 B/op  0 allocs/op ]`.
+// benchLine matches `BenchmarkName-8   123456   78.9 ns/op ... 0 B/op  0 allocs/op`.
+// Benchmarks that call b.ReportMetric interleave custom units between ns/op
+// and the -benchmem columns, so B/op and allocs/op are matched anywhere after
+// ns/op rather than immediately adjacent.
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:.*?\s(\d+) B/op)?(?:.*?\s(\d+) allocs/op)?`)
 
 func main() {
 	out := flag.String("out", "BENCH_sim.json", "output JSON path")

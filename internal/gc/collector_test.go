@@ -192,9 +192,16 @@ func TestMutatorFactorRisesDuringCycle(t *testing.T) {
 	if base != 1+p.BarrierBase {
 		t.Fatalf("idle factor = %v, want %v", base, 1+p.BarrierBase)
 	}
+	// The factor is cached; cycle-phase transitions invalidate it.
 	col.cycle = &cycleState{}
+	col.updateMutatorFactor()
 	if got := col.MutatorFactor(); got != 1+p.BarrierBase+p.BarrierConc {
 		t.Fatalf("cycle factor = %v, want %v", got, 1+p.BarrierBase+p.BarrierConc)
+	}
+	col.cycle = nil
+	col.updateMutatorFactor()
+	if got := col.MutatorFactor(); got != base {
+		t.Fatalf("post-cycle factor = %v, want %v", got, base)
 	}
 }
 

@@ -153,6 +153,21 @@ func (h *Heap) TryAlloc(b float64) bool {
 	return true
 }
 
+// AllocFast allocates b bytes into the young space without a capacity check.
+// It is the collector's bump-allocation fast path: the caller has already
+// proved (via its precomputed budget) that the bytes fit, so this is exactly
+// TryAlloc's success path.
+func (h *Heap) AllocFast(b float64) {
+	if b < 0 {
+		panic(fmt.Sprintf("heap: negative allocation %v", b))
+	}
+	h.young += b
+	h.totalAlloc += b
+	if u := h.Used(); u > h.peakUsed {
+		h.peakUsed = u
+	}
+}
+
 // CollectStats reports the byte flows of one collection, from which a
 // collector computes its CPU cost.
 type CollectStats struct {

@@ -1,18 +1,24 @@
 // Package benchdiff is the statistical perf-regression gate: it compares
-// two sets of benchmark timings and decides — with a significance test, not
-// eyeballing — whether the new side got slower.
+// two sets of benchmark measurements and decides — with a significance test,
+// not eyeballing — whether the new side got worse.
 //
 // Inputs come in either of the repo's two benchmark formats, sniffed
 // automatically: the BENCH_sim.json map written by cmd/benchjson
-// (name → {ns_per_op, …}, one sample per name), or raw `go test -bench`
-// text, where `-count=N` yields N samples per name. With three or more
-// samples on both sides a comparison runs the Mann-Whitney U test
+// (name → {ns_per_op, b_per_op, allocs_per_op, …}, one sample per name), or
+// raw `go test -bench` text, where `-count=N` yields N samples per name.
+// Each benchmark is compared per metric: ns/op always, and — when both
+// sides carry them (`-benchmem`) — B/op and allocs/op, so an allocation
+// regression fails the gate exactly like a time regression. With three or
+// more samples on both sides a comparison runs the Mann-Whitney U test
 // (internal/stats) and flags a change only when it is both statistically
 // significant (p < Alpha) and practically large (|Δmedian| > Threshold);
 // with fewer samples there is no distribution to test, so the gate falls
 // back to the threshold alone. That keeps the gate honest in both regimes:
 // multi-sample runs cannot be failed by noise, and the checked-in
-// single-sample baseline still catches a 20% cliff.
+// single-sample baseline still catches a 20% cliff. A metric that goes from
+// an exactly-zero old median to a nonzero new one (e.g. 0 → 2 allocs/op) is
+// always a regression: no relative threshold can express "was free, now
+// isn't".
 package benchdiff
 
 import (
@@ -20,6 +26,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strings"
@@ -28,12 +35,67 @@ import (
 	"chopin/internal/stats"
 )
 
-// Samples maps benchmark name → ns/op timings (one per recorded run).
-type Samples map[string][]float64
+// Metric identifies which benchmark column a sample series or delta refers
+// to.
+type Metric int
 
-// measurement mirrors cmd/benchjson's JSON value shape.
+const (
+	// NsPerOp is wall time per operation — present on every benchmark line.
+	NsPerOp Metric = iota
+	// BytesPerOp is heap bytes allocated per operation (-benchmem).
+	BytesPerOp
+	// AllocsPerOp is heap allocations per operation (-benchmem).
+	AllocsPerOp
+	numMetrics
+)
+
+func (m Metric) String() string {
+	switch m {
+	case BytesPerOp:
+		return "B/op"
+	case AllocsPerOp:
+		return "allocs/op"
+	default:
+		return "ns/op"
+	}
+}
+
+// Series holds one benchmark's samples, one slice per metric (empty when the
+// input did not carry that column).
+type Series struct {
+	m [numMetrics][]float64
+}
+
+// Add appends one sample for metric m.
+func (s *Series) Add(m Metric, v float64) { s.m[m] = append(s.m[m], v) }
+
+// Samples returns the recorded values for metric m (nil if none).
+func (s *Series) Samples(m Metric) []float64 {
+	if s == nil {
+		return nil
+	}
+	return s.m[m]
+}
+
+// Samples maps benchmark name → per-metric sample series.
+type Samples map[string]*Series
+
+func (s Samples) series(name string) *Series {
+	sr := s[name]
+	if sr == nil {
+		sr = &Series{}
+		s[name] = sr
+	}
+	return sr
+}
+
+// measurement mirrors cmd/benchjson's JSON value shape. The -benchmem
+// columns are pointers so a benchmark recorded without them is
+// distinguishable from one that genuinely allocates zero.
 type measurement struct {
-	NsPerOp float64 `json:"ns_per_op"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BPerOp      *float64 `json:"b_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
 }
 
 // ParseFile loads benchmark samples from path, sniffing the format: a file
@@ -77,7 +139,14 @@ func parseJSON(r io.Reader) (Samples, error) {
 	}
 	s := Samples{}
 	for name, meas := range m {
-		s[name] = append(s[name], meas.NsPerOp)
+		sr := s.series(name)
+		sr.Add(NsPerOp, meas.NsPerOp)
+		if meas.BPerOp != nil {
+			sr.Add(BytesPerOp, *meas.BPerOp)
+		}
+		if meas.AllocsPerOp != nil {
+			sr.Add(AllocsPerOp, *meas.AllocsPerOp)
+		}
 	}
 	if len(s) == 0 {
 		return nil, fmt.Errorf("benchdiff: no benchmarks in JSON map")
@@ -86,19 +155,23 @@ func parseJSON(r io.Reader) (Samples, error) {
 }
 
 // parseBenchText accumulates every matching line, so `go test -bench
-// -count=N` output yields N samples per benchmark name. The line regex is
-// shared with cmd/benchjson via its published shape (GOMAXPROCS suffix
-// stripped).
+// -count=N` output yields N samples per benchmark name (GOMAXPROCS suffix
+// stripped, matching cmd/benchjson).
 func parseBenchText(r io.Reader) (Samples, error) {
 	s := Samples{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		name, ns, ok := parseBenchLine(sc.Text())
+		name, vals, has, ok := parseBenchLine(sc.Text())
 		if !ok {
 			continue
 		}
-		s[name] = append(s[name], ns)
+		sr := s.series(name)
+		for m := Metric(0); m < numMetrics; m++ {
+			if has[m] {
+				sr.Add(m, vals[m])
+			}
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -109,30 +182,48 @@ func parseBenchText(r io.Reader) (Samples, error) {
 	return s, nil
 }
 
-// parseBenchLine extracts (name, ns/op) from one `go test -bench` line.
-func parseBenchLine(line string) (string, float64, bool) {
+// parseBenchLine extracts the metric columns from one `go test -bench` line.
+// The layout after the iteration count is (value, unit) token pairs;
+// benchmarks that call b.ReportMetric interleave custom units between ns/op
+// and the -benchmem columns, so the pairs are scanned by unit rather than by
+// position.
+func parseBenchLine(line string) (name string, vals [numMetrics]float64, has [numMetrics]bool, ok bool) {
 	if !strings.HasPrefix(line, "Benchmark") {
-		return "", 0, false
+		return "", vals, has, false
 	}
 	fields := strings.Fields(line)
 	if len(fields) < 4 {
-		return "", 0, false
+		return "", vals, has, false
 	}
-	name := fields[0]
+	name = fields[0]
 	if i := strings.LastIndex(name, "-"); i > 0 {
 		// Strip the GOMAXPROCS suffix, matching cmd/benchjson.
 		if allDigits(name[i+1:]) {
 			name = name[:i]
 		}
 	}
-	var ns float64
-	if _, err := fmt.Sscanf(fields[2], "%g", &ns); err != nil {
-		return "", 0, false
+	for i := 2; i+1 < len(fields); i += 2 {
+		var m Metric
+		switch fields[i+1] {
+		case "ns/op":
+			m = NsPerOp
+		case "B/op":
+			m = BytesPerOp
+		case "allocs/op":
+			m = AllocsPerOp
+		default:
+			continue // custom b.ReportMetric unit
+		}
+		var v float64
+		if _, err := fmt.Sscanf(fields[i], "%g", &v); err != nil {
+			return "", vals, has, false
+		}
+		vals[m], has[m] = v, true
 	}
-	if fields[3] != "ns/op" {
-		return "", 0, false
+	if !has[NsPerOp] {
+		return "", vals, has, false
 	}
-	return name, ns, true
+	return name, vals, has, true
 }
 
 func allDigits(s string) bool {
@@ -177,15 +268,15 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Verdict is the gate's decision for one benchmark.
+// Verdict is the gate's decision for one benchmark metric.
 type Verdict int
 
 const (
 	// Unchanged means no significant difference was found.
 	Unchanged Verdict = iota
-	// Regression means the new side is significantly slower.
+	// Regression means the new side is significantly worse.
 	Regression
-	// Improvement means the new side is significantly faster.
+	// Improvement means the new side is significantly better.
 	Improvement
 	// OnlyOld and OnlyNew flag benchmarks present on one side alone
 	// (renamed, added or deleted) — reported, never failed on.
@@ -208,12 +299,14 @@ func (v Verdict) String() string {
 	}
 }
 
-// Delta is the comparison result for one benchmark name.
+// Delta is the comparison result for one benchmark name and metric.
 type Delta struct {
 	Name    string
+	Metric  Metric
 	Verdict Verdict
-	// OldMedian and NewMedian are ns/op; Pct is the relative change of the
-	// median ((new-old)/old).
+	// OldMedian and NewMedian are in the metric's unit; Pct is the relative
+	// change of the median ((new-old)/old), +Inf when an exactly-zero old
+	// median became nonzero.
 	OldMedian float64
 	NewMedian float64
 	Pct       float64
@@ -227,14 +320,16 @@ type Delta struct {
 	NOld, NNew   int
 }
 
-// Report is a full comparison: one Delta per benchmark name, sorted.
+// Report is a full comparison: one Delta per benchmark name and metric
+// present on both sides, sorted by name then metric.
 type Report struct {
 	Deltas       []Delta
 	Regressions  int
 	Improvements int
 }
 
-// Compare runs the gate over two sample sets.
+// Compare runs the gate over two sample sets. Every benchmark gets an ns/op
+// delta; B/op and allocs/op deltas appear when both sides recorded them.
 func Compare(old, new Samples, opt Options) Report {
 	opt = opt.withDefaults()
 	names := map[string]bool{}
@@ -252,51 +347,79 @@ func Compare(old, new Samples, opt Options) Report {
 
 	var rep Report
 	for _, name := range sorted {
-		o, n := old[name], new[name]
-		d := Delta{Name: name, NOld: len(o), NNew: len(n), P: 1}
-		switch {
-		case len(o) == 0:
-			d.Verdict = OnlyNew
-			d.NewMedian = stats.Median(n)
-		case len(n) == 0:
-			d.Verdict = OnlyOld
-			d.OldMedian = stats.Median(o)
-		default:
-			d.OldMedian = stats.Median(o)
-			d.NewMedian = stats.Median(n)
-			if d.OldMedian != 0 {
-				d.Pct = (d.NewMedian - d.OldMedian) / d.OldMedian
-			}
-			significant := false
-			if len(o) >= 3 && len(n) >= 3 {
-				d.Tested = true
-				_, d.P = stats.MannWhitneyU(o, n)
-				d.NewLo, d.NewHi = stats.BootstrapMedianCI(n, opt.BootstrapIters, opt.Seed)
-				significant = d.P < opt.Alpha
-			} else {
-				// Too few samples for a rank test: the threshold alone
-				// decides (the single-sample checked-in baseline regime).
-				significant = true
-			}
-			if significant {
-				switch {
-				case d.Pct > opt.Threshold:
-					d.Verdict = Regression
-					rep.Regressions++
-				case d.Pct < -opt.Threshold:
-					d.Verdict = Improvement
-					rep.Improvements++
-				}
-			}
+		so, sn := old[name], new[name]
+		if so == nil {
+			rep.Deltas = append(rep.Deltas, Delta{
+				Name: name, Verdict: OnlyNew,
+				NewMedian: stats.Median(sn.Samples(NsPerOp)),
+				NNew:      len(sn.Samples(NsPerOp)), P: 1,
+			})
+			continue
 		}
-		rep.Deltas = append(rep.Deltas, d)
+		if sn == nil {
+			rep.Deltas = append(rep.Deltas, Delta{
+				Name: name, Verdict: OnlyOld,
+				OldMedian: stats.Median(so.Samples(NsPerOp)),
+				NOld:      len(so.Samples(NsPerOp)), P: 1,
+			})
+			continue
+		}
+		for m := Metric(0); m < numMetrics; m++ {
+			o, n := so.Samples(m), sn.Samples(m)
+			if len(o) == 0 || len(n) == 0 {
+				continue // metric recorded on one side only: nothing to test
+			}
+			d := compareMetric(name, m, o, n, opt)
+			switch d.Verdict {
+			case Regression:
+				rep.Regressions++
+			case Improvement:
+				rep.Improvements++
+			}
+			rep.Deltas = append(rep.Deltas, d)
+		}
 	}
 	return rep
 }
 
+// compareMetric decides one (benchmark, metric) pair.
+func compareMetric(name string, m Metric, o, n []float64, opt Options) Delta {
+	d := Delta{Name: name, Metric: m, NOld: len(o), NNew: len(n), P: 1}
+	d.OldMedian = stats.Median(o)
+	d.NewMedian = stats.Median(n)
+	switch {
+	case d.OldMedian != 0:
+		d.Pct = (d.NewMedian - d.OldMedian) / d.OldMedian
+	case d.NewMedian != 0:
+		// Zero → nonzero: infinitely past any relative threshold. The
+		// hot-path benches live here — their whole contract is 0 allocs/op.
+		d.Pct = math.Inf(1)
+	}
+	significant := false
+	if len(o) >= 3 && len(n) >= 3 {
+		d.Tested = true
+		_, d.P = stats.MannWhitneyU(o, n)
+		d.NewLo, d.NewHi = stats.BootstrapMedianCI(n, opt.BootstrapIters, opt.Seed)
+		significant = d.P < opt.Alpha
+	} else {
+		// Too few samples for a rank test: the threshold alone decides
+		// (the single-sample checked-in baseline regime).
+		significant = true
+	}
+	if significant {
+		switch {
+		case d.Pct > opt.Threshold:
+			d.Verdict = Regression
+		case d.Pct < -opt.Threshold:
+			d.Verdict = Improvement
+		}
+	}
+	return d
+}
+
 // Render writes the report as a benchstat-style aligned table.
 func (r Report) Render(w io.Writer) {
-	t := report.NewTable("benchmark", "old ns/op", "new ns/op", "delta", "p", "samples", "verdict")
+	t := report.NewTable("benchmark", "metric", "old", "new", "delta", "p", "samples", "verdict")
 	for _, d := range r.Deltas {
 		old, new, delta, p := "-", "-", "-", "-"
 		if d.NOld > 0 {
@@ -306,12 +429,16 @@ func (r Report) Render(w io.Writer) {
 			new = report.FormatFloat(d.NewMedian)
 		}
 		if d.NOld > 0 && d.NNew > 0 {
-			delta = fmt.Sprintf("%+.1f%%", 100*d.Pct)
+			if math.IsInf(d.Pct, 1) {
+				delta = "+inf%"
+			} else {
+				delta = fmt.Sprintf("%+.1f%%", 100*d.Pct)
+			}
 			if d.Tested {
 				p = fmt.Sprintf("%.3f", d.P)
 			}
 		}
-		t.AddRow(d.Name, old, new, delta, p,
+		t.AddRow(d.Name, d.Metric.String(), old, new, delta, p,
 			fmt.Sprintf("%d+%d", d.NOld, d.NNew), d.Verdict.String())
 	}
 	t.Render(w)

@@ -3,6 +3,7 @@ package benchdiff
 import (
 	"bytes"
 	"flag"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +11,13 @@ import (
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
+
+// one builds a single-sample Series for threshold-fallback tests.
+func one(ns float64) *Series {
+	s := &Series{}
+	s.Add(NsPerOp, ns)
+	return s
+}
 
 func TestParseJSON(t *testing.T) {
 	s, err := Parse(strings.NewReader(`{
@@ -22,8 +30,17 @@ func TestParseJSON(t *testing.T) {
 	if len(s) != 2 {
 		t.Fatalf("parsed %d names, want 2", len(s))
 	}
-	if got := s["BenchmarkEngineStep/threads=8"]; len(got) != 1 || got[0] != 77.03 {
-		t.Fatalf("JSON sample = %v", got)
+	step := s["BenchmarkEngineStep/threads=8"]
+	if got := step.Samples(NsPerOp); len(got) != 1 || got[0] != 77.03 {
+		t.Fatalf("JSON ns sample = %v", got)
+	}
+	// b_per_op:0 is a real zero-allocation measurement, not absence...
+	if got := step.Samples(AllocsPerOp); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("JSON allocs sample = %v", got)
+	}
+	// ...while a map entry without the -benchmem keys has no series at all.
+	if got := s["BenchmarkEngineTimerHeavy"].Samples(BytesPerOp); len(got) != 0 {
+		t.Fatalf("absent b_per_op parsed as samples: %v", got)
 	}
 }
 
@@ -32,16 +49,47 @@ func TestParseBenchText(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(s) != 3 {
-		t.Fatalf("parsed %d names, want 3: %v", len(s), s)
+	if len(s) != 4 {
+		t.Fatalf("parsed %d names, want 4: %v", len(s), s)
 	}
 	// -count=5 accumulates five samples and the GOMAXPROCS suffix strips.
-	got := s["BenchmarkEngineStep/threads=8"]
+	got := s["BenchmarkEngineStep/threads=8"].Samples(NsPerOp)
 	if len(got) != 5 {
 		t.Fatalf("samples = %v, want 5 accumulated -count runs", got)
 	}
 	if got[0] != 77.10 {
 		t.Fatalf("first sample = %v, want 77.10", got[0])
+	}
+	if allocs := s["BenchmarkEngineStep/threads=8"].Samples(AllocsPerOp); len(allocs) != 5 || allocs[0] != 0 {
+		t.Fatalf("allocs samples = %v, want five zeros", allocs)
+	}
+}
+
+// TestParseBenchLineCustomMetrics: b.ReportMetric interleaves custom units
+// between ns/op and the -benchmem columns; the pairwise scan must step over
+// them and still find B/op and allocs/op.
+func TestParseBenchLineCustomMetrics(t *testing.T) {
+	line := "BenchmarkFigure1GeomeanLBO-8   1   5771234567 ns/op   12.34 lbo-pct   56.7 sweeps/op   1048576 B/op   30912345 allocs/op"
+	name, vals, has, ok := parseBenchLine(line)
+	if !ok {
+		t.Fatal("line with custom metrics rejected")
+	}
+	if name != "BenchmarkFigure1GeomeanLBO" {
+		t.Fatalf("name = %q", name)
+	}
+	if !has[NsPerOp] || vals[NsPerOp] != 5771234567 {
+		t.Fatalf("ns = %v (has %v)", vals[NsPerOp], has[NsPerOp])
+	}
+	if !has[BytesPerOp] || vals[BytesPerOp] != 1048576 {
+		t.Fatalf("B/op = %v (has %v)", vals[BytesPerOp], has[BytesPerOp])
+	}
+	if !has[AllocsPerOp] || vals[AllocsPerOp] != 30912345 {
+		t.Fatalf("allocs/op = %v (has %v)", vals[AllocsPerOp], has[AllocsPerOp])
+	}
+	// Without -benchmem the line ends after the custom metrics.
+	_, _, has, ok = parseBenchLine("BenchmarkX-8   100   50.0 ns/op   3.0 widgets/op")
+	if !ok || has[BytesPerOp] || has[AllocsPerOp] {
+		t.Fatalf("no-benchmem line: ok=%v has=%v", ok, has)
 	}
 }
 
@@ -63,6 +111,18 @@ func load(t *testing.T, name string) Samples {
 	return s
 }
 
+// deltaFor finds the Delta for one (name, metric) pair.
+func deltaFor(t *testing.T, rep Report, name string, m Metric) Delta {
+	t.Helper()
+	for _, d := range rep.Deltas {
+		if d.Name == name && d.Metric == m {
+			return d
+		}
+	}
+	t.Fatalf("no delta for %s %s in %+v", name, m, rep.Deltas)
+	return Delta{}
+}
+
 // TestCompareRegression: the injected 20% EngineStep slowdown is caught,
 // and the two untouched benchmarks are not dragged along.
 func TestCompareRegression(t *testing.T) {
@@ -70,26 +130,58 @@ func TestCompareRegression(t *testing.T) {
 	if rep.Regressions != 1 {
 		t.Fatalf("regressions = %d, want 1\n%+v", rep.Regressions, rep.Deltas)
 	}
+	d := deltaFor(t, rep, "BenchmarkEngineStep/threads=8", NsPerOp)
+	if d.Verdict != Regression {
+		t.Fatalf("EngineStep verdict = %v, want Regression", d.Verdict)
+	}
+	if d.Pct < 0.15 || d.Pct > 0.25 {
+		t.Fatalf("EngineStep delta = %v, want ~+0.20", d.Pct)
+	}
+	if !d.Tested || d.P >= 0.05 {
+		t.Fatalf("EngineStep p = %v (tested=%v), want tested significant", d.P, d.Tested)
+	}
+	if d.NewLo > d.NewMedian || d.NewHi < d.NewMedian {
+		t.Fatalf("bootstrap CI [%v,%v] excludes median %v", d.NewLo, d.NewHi, d.NewMedian)
+	}
 	for _, d := range rep.Deltas {
-		switch d.Name {
-		case "BenchmarkEngineStep/threads=8":
-			if d.Verdict != Regression {
-				t.Fatalf("EngineStep verdict = %v, want Regression", d.Verdict)
-			}
-			if d.Pct < 0.15 || d.Pct > 0.25 {
-				t.Fatalf("EngineStep delta = %v, want ~+0.20", d.Pct)
-			}
-			if !d.Tested || d.P >= 0.05 {
-				t.Fatalf("EngineStep p = %v (tested=%v), want tested significant", d.P, d.Tested)
-			}
-			if d.NewLo > d.NewMedian || d.NewHi < d.NewMedian {
-				t.Fatalf("bootstrap CI [%v,%v] excludes median %v", d.NewLo, d.NewHi, d.NewMedian)
-			}
-		default:
+		if d.Name != "BenchmarkEngineStep/threads=8" || d.Metric != NsPerOp {
 			if d.Verdict != Unchanged {
-				t.Fatalf("%s verdict = %v, want Unchanged", d.Name, d.Verdict)
+				t.Fatalf("%s %s verdict = %v, want Unchanged", d.Name, d.Metric, d.Verdict)
 			}
 		}
+	}
+}
+
+// TestCompareAllocRegression: the fixtures' zero-allocation benchmarks gain
+// allocations in allocregression.bench.txt; the 0 → nonzero rule must fail
+// the gate even though ns/op is unchanged, and a large alloc increase on an
+// already-allocating benchmark is caught by the ordinary threshold.
+func TestCompareAllocRegression(t *testing.T) {
+	rep := Compare(load(t, "old.bench.txt"), load(t, "allocregression.bench.txt"), Options{})
+	if rep.Regressions != 4 {
+		t.Fatalf("regressions = %d, want 4\n%+v", rep.Regressions, rep.Deltas)
+	}
+	d := deltaFor(t, rep, "BenchmarkEngineTimerHeavy", AllocsPerOp)
+	if d.Verdict != Regression || !math.IsInf(d.Pct, 1) {
+		t.Fatalf("0→2 allocs/op: verdict=%v pct=%v, want Regression +Inf", d.Verdict, d.Pct)
+	}
+	d = deltaFor(t, rep, "BenchmarkEngineTimerHeavy", BytesPerOp)
+	if d.Verdict != Regression || !math.IsInf(d.Pct, 1) {
+		t.Fatalf("0→48 B/op: verdict=%v pct=%v, want Regression +Inf", d.Verdict, d.Pct)
+	}
+	d = deltaFor(t, rep, "BenchmarkEngineAllocHeavy", AllocsPerOp)
+	if d.Verdict != Regression || d.Pct < 0.9 || d.Pct > 1.1 {
+		t.Fatalf("4→8 allocs/op: verdict=%v pct=%v, want Regression ~+1.0", d.Verdict, d.Pct)
+	}
+	d = deltaFor(t, rep, "BenchmarkEngineAllocHeavy", BytesPerOp)
+	if d.Verdict != Regression {
+		t.Fatalf("128→256 B/op: verdict=%v, want Regression", d.Verdict)
+	}
+	if d := deltaFor(t, rep, "BenchmarkEngineTimerHeavy", NsPerOp); d.Verdict != Unchanged {
+		t.Fatalf("unchanged ns/op flagged: %+v", d)
+	}
+	if d := deltaFor(t, rep, "BenchmarkEngineBlockUnblockHeavy", AllocsPerOp); d.Verdict != Unchanged {
+		t.Fatalf("0→0 allocs/op flagged: %+v", d)
 	}
 }
 
@@ -126,8 +218,8 @@ func TestCompareIdenticalInputs(t *testing.T) {
 // BENCH_sim.json regime) there is no distribution to test, so the threshold
 // alone decides.
 func TestCompareSmallSampleFallback(t *testing.T) {
-	old := Samples{"BenchmarkX": {100}, "BenchmarkY": {100}}
-	rep := Compare(old, Samples{"BenchmarkX": {121}, "BenchmarkY": {103}}, Options{Threshold: 0.10})
+	old := Samples{"BenchmarkX": one(100), "BenchmarkY": one(100)}
+	rep := Compare(old, Samples{"BenchmarkX": one(121), "BenchmarkY": one(103)}, Options{Threshold: 0.10})
 	if rep.Regressions != 1 {
 		t.Fatalf("regressions = %d, want 1 (threshold-only fallback)\n%+v",
 			rep.Regressions, rep.Deltas)
@@ -144,9 +236,14 @@ func TestCompareSmallSampleFallback(t *testing.T) {
 // overlapping samples must NOT be flagged — that is the whole point of the
 // statistical gate.
 func TestCompareSignificanceGuards(t *testing.T) {
-	old := Samples{"BenchmarkX": {100, 180, 95, 170, 105}}
-	new := Samples{"BenchmarkX": {165, 98, 175, 102, 160}}
-	rep := Compare(old, new, Options{Threshold: 0.05})
+	oldS, newS := &Series{}, &Series{}
+	for _, v := range []float64{100, 180, 95, 170, 105} {
+		oldS.Add(NsPerOp, v)
+	}
+	for _, v := range []float64{165, 98, 175, 102, 160} {
+		newS.Add(NsPerOp, v)
+	}
+	rep := Compare(Samples{"BenchmarkX": oldS}, Samples{"BenchmarkX": newS}, Options{Threshold: 0.05})
 	if rep.Regressions != 0 {
 		t.Fatalf("noisy overlap flagged as regression: %+v", rep.Deltas)
 	}
@@ -154,7 +251,7 @@ func TestCompareSignificanceGuards(t *testing.T) {
 
 // TestCompareAddedRemoved: names on one side only are reported, not failed.
 func TestCompareAddedRemoved(t *testing.T) {
-	rep := Compare(Samples{"BenchmarkGone": {50}}, Samples{"BenchmarkNew": {60}}, Options{})
+	rep := Compare(Samples{"BenchmarkGone": one(50)}, Samples{"BenchmarkNew": one(60)}, Options{})
 	if rep.Regressions != 0 || rep.Improvements != 0 {
 		t.Fatal("added/removed benchmarks counted as changes")
 	}
@@ -167,12 +264,12 @@ func TestCompareAddedRemoved(t *testing.T) {
 	}
 }
 
-// TestRenderGolden locks the benchstat-style table for the three fixture
+// TestRenderGolden locks the benchstat-style table for the fixture
 // comparisons.
 func TestRenderGolden(t *testing.T) {
 	old := load(t, "old.bench.txt")
 	var buf bytes.Buffer
-	for _, name := range []string{"regression", "improvement", "nochange"} {
+	for _, name := range []string{"regression", "allocregression", "improvement", "nochange"} {
 		rep := Compare(old, load(t, name+".bench.txt"), Options{})
 		buf.WriteString("== old vs " + name + " ==\n")
 		rep.Render(&buf)

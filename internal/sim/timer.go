@@ -64,6 +64,22 @@ func (e *Engine) After(d float64, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
+	return e.schedule(e.now+d, fn)
+}
+
+// At schedules fn at the absolute virtual time t (a t already in the past
+// fires at now). Unlike After(t-NowF()), the deadline is stored exactly as
+// given — no relative round-trip through floating point — so a caller can
+// reproduce a precomputed schedule bit-for-bit while arming timers one at a
+// time.
+func (e *Engine) At(t float64, fn func()) Timer {
+	if t < e.now {
+		t = e.now
+	}
+	return e.schedule(t, fn)
+}
+
+func (e *Engine) schedule(at float64, fn func()) Timer {
 	if fn == nil {
 		panic("sim: nil timer callback")
 	}
@@ -78,7 +94,7 @@ func (e *Engine) After(d float64, fn func()) Timer {
 	n.fn = fn
 	n.seq = e.timerSeq
 	n.cancelled = false
-	e.timers.push(timerEntry{at: e.now + d, seq: e.timerSeq, n: n})
+	e.timers.push(timerEntry{at: at, seq: e.timerSeq, n: n})
 	return Timer{e: e, n: n, seq: e.timerSeq}
 }
 

@@ -25,6 +25,86 @@ import (
 // idle workers are kicked through the collector's Alloc path, which defers
 // across stop-the-world pauses.
 
+// openLoopState is the runner's open-loop machinery, allocated once per run
+// and reused across iterations: the FIFO arrival queue (a slice with a head
+// index, compacted when drained so the backing array stabilizes at the peak
+// backlog), the per-worker busy flags, and the single arrival callback every
+// timer shares.
+type openLoopState struct {
+	queue     []sim.Time // arrival times of queued requests; FIFO from head
+	head      int
+	busy      []bool // indexed by worker position in runner.workers
+	arrived   int
+	completed int
+	arrivalFn func() // bound once to runner.openLoopArrival
+	// Arrival i's deadline is startF + i*intervalNS; arrivals are armed one
+	// at a time (each firing schedules the next via Engine.At), so only one
+	// arrival timer is ever live instead of one per event.
+	startF     float64
+	intervalNS float64
+}
+
+// openLoopArrival is the shared timer callback: one request joins the queue
+// at the current virtual time, and the next arrival (if any) is armed at its
+// precomputed absolute deadline.
+func (r *runner) openLoopArrival() {
+	ol := &r.ol
+	ol.arrived++
+	ol.queue = append(ol.queue, r.eng.Now())
+	if ol.arrived < r.events {
+		r.eng.At(ol.startF+float64(ol.arrived)*ol.intervalNS, ol.arrivalFn)
+	}
+	r.dispatchOpenLoop()
+}
+
+// dispatchOpenLoop pairs queued arrivals with idle workers until one of the
+// two runs out. The first idle worker in registration order serves the head
+// of the queue, exactly as the closure-based implementation did.
+func (r *runner) dispatchOpenLoop() {
+	if r.oom {
+		return
+	}
+	ol := &r.ol
+	for ol.head < len(ol.queue) {
+		widx := -1
+		for i := range r.workers {
+			if !ol.busy[i] {
+				widx = i
+				break
+			}
+		}
+		if widx < 0 {
+			return
+		}
+		arrival := ol.queue[ol.head]
+		ol.head++
+		if ol.head == len(ol.queue) {
+			ol.queue = ol.queue[:0]
+			ol.head = 0
+		}
+		ol.busy[widx] = true
+		f := r.newFrame()
+		f.w = r.workers[widx]
+		f.idx = widx
+		f.open = true
+		f.start = arrival
+		f.begin()
+	}
+}
+
+// completeOpen finishes an open-loop event: latency runs from arrival to
+// completion, the worker frees up, and the queue re-dispatches.
+func (f *eventFrame) completeOpen() {
+	r := f.r
+	if r.recording {
+		r.latencies = append(r.latencies, Event{Start: f.start, End: r.eng.Now()})
+	}
+	r.ol.completed++
+	r.ol.busy[f.idx] = false
+	r.releaseFrame(f)
+	r.dispatchOpenLoop()
+}
+
 // runOpenLoopIteration executes one iteration with scheduled arrivals at the
 // workload's nominal rate (events spread uniformly over PET seconds).
 func (r *runner) runOpenLoopIteration(iter int) (IterationResult, error) {
@@ -32,7 +112,7 @@ func (r *runner) runOpenLoopIteration(iter int) (IterationResult, error) {
 	r.recording = iter == r.cfg.Iterations-1 &&
 		(r.d.LatencySensitive || r.cfg.RecordLatency)
 	if r.recording {
-		r.latencies = make([]Event, 0, r.events)
+		r.latencies = r.latencies[:0] // preallocated once in Run, reused
 	}
 	r.h.SetTargetLive(r.targetLive(iter))
 
@@ -47,51 +127,22 @@ func (r *runner) runOpenLoopIteration(iter int) (IterationResult, error) {
 	if r.cfg.OpenLoopHeadroom > 0 {
 		intervalNS *= r.cfg.OpenLoopHeadroom
 	}
-	type pending struct{ arrival sim.Time }
-	var queue []pending
-	busy := make(map[*sim.Thread]bool)
-	arrived, completed := 0, 0
-
-	var dispatch func()
-	serve := func(w *sim.Thread, p pending) {
-		busy[w] = true
-		r.executeEvent(w, func() {
-			if r.recording {
-				r.latencies = append(r.latencies, Event{Start: p.arrival, End: r.eng.Now()})
-			}
-			completed++
-			busy[w] = false
-			dispatch()
-		})
+	ol := &r.ol
+	ol.queue = ol.queue[:0]
+	ol.head = 0
+	if ol.busy == nil {
+		ol.busy = make([]bool, len(r.workers))
+		ol.arrivalFn = r.openLoopArrival
 	}
-	dispatch = func() {
-		if r.oom {
-			return
-		}
-		for len(queue) > 0 {
-			var w *sim.Thread
-			for _, cand := range r.workers {
-				if !busy[cand] {
-					w = cand
-					break
-				}
-			}
-			if w == nil {
-				return
-			}
-			p := queue[0]
-			queue = queue[1:]
-			serve(w, p)
-		}
+	for i := range ol.busy {
+		ol.busy[i] = false
 	}
+	ol.arrived, ol.completed = 0, 0
+	ol.startF = r.eng.NowF()
+	ol.intervalNS = intervalNS
 
-	for i := 0; i < r.events; i++ {
-		at := float64(i) * intervalNS
-		r.eng.After(at, func() {
-			arrived++
-			queue = append(queue, pending{arrival: r.eng.Now()})
-			dispatch()
-		})
+	if r.events > 0 {
+		r.eng.At(ol.startF, ol.arrivalFn) // arrival 0; each arrival arms the next
 	}
 	if err := r.eng.Run(); err != nil {
 		return IterationResult{}, fmt.Errorf("%s: %w", r.d.Name, err)
@@ -99,10 +150,10 @@ func (r *runner) runOpenLoopIteration(iter int) (IterationResult, error) {
 	if r.oom {
 		return IterationResult{}, &ErrOutOfMemory{r.d.Name, r.cfg.HeapMB, r.cfg.Collector}
 	}
-	if completed != r.events {
+	if ol.completed != r.events {
 		return IterationResult{}, fmt.Errorf(
 			"%s: open-loop iteration lost events: %d arrived, %d completed",
-			r.d.Name, arrived, completed)
+			r.d.Name, ol.arrived, ol.completed)
 	}
 	end := r.eng.Now()
 	return IterationResult{

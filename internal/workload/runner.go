@@ -144,6 +144,126 @@ type runner struct {
 	oom       bool
 	recording bool
 	latencies []Event
+
+	// freeFrames recycles event continuation frames (see eventFrame): the
+	// steady-state invocation path allocates nothing per event.
+	freeFrames *eventFrame
+	ol         openLoopState
+}
+
+// eventFrame is the pooled continuation state for one in-flight event: the
+// explicit form of what used to be a chain of per-event closures threaded
+// through Collector.Alloc and Thread.Exec callbacks. A frame is claimed when
+// a worker starts an event, walks the event's sliced allocate-then-compute
+// sequence via its two pre-bound callbacks, and returns to the runner's free
+// list on completion — so a run needs at most one live frame per worker and
+// the per-event hot path is allocation-free in steady state (same free-list
+// pattern as the engine's timer nodes, internal/sim/timer.go).
+type eventFrame struct {
+	r          *runner
+	w          *sim.Thread
+	remaining  int // allocate-compute slices left in this event
+	sliceBytes float64
+	sliceCost  float64
+	start      sim.Time // claim time (closed loop) or arrival time (open loop)
+	idx        int      // event index (closed loop); worker index (open loop)
+	open       bool     // which completion discipline applies
+	next       *eventFrame
+
+	// onAlloc and onExec are this frame's method values, bound once when the
+	// frame is first created; reusing them through the pool is what removes
+	// the per-slice closure allocations.
+	onAlloc func(bool)
+	onExec  func()
+}
+
+// newFrame claims a frame from the free list, minting one (with its two
+// callback bindings) only when the pool is empty.
+func (r *runner) newFrame() *eventFrame {
+	f := r.freeFrames
+	if f != nil {
+		r.freeFrames = f.next
+		f.next = nil
+		return f
+	}
+	f = &eventFrame{r: r}
+	f.onAlloc = f.allocDone
+	f.onExec = f.execDone
+	return f
+}
+
+// releaseFrame returns a completed (or abandoned) frame to the pool.
+func (r *runner) releaseFrame(f *eventFrame) {
+	f.w = nil
+	f.next = r.freeFrames
+	r.freeFrames = f
+}
+
+// begin samples the event's allocation volume and service cost (in the same
+// RNG order as always), splits them into slices, and starts the walk.
+func (f *eventFrame) begin() {
+	r := f.r
+	bytes := r.rng.Jitter(r.bytesPer, 0.10)
+	slices := 1 + int(bytes/allocSliceBytes)
+	if slices > 64 {
+		slices = 64
+	}
+	cost := r.rng.LogNormal(r.medianNS, r.d.ServiceSigma) *
+		r.archFactor *
+		r.d.Jit.Factor(r.cfg.Compiler, r.iter)
+	f.sliceBytes = bytes / float64(slices)
+	f.sliceCost = cost / float64(slices)
+	f.remaining = slices
+	f.step()
+}
+
+// step advances the event by one allocate-then-compute slice, or completes
+// it when none remain.
+func (f *eventFrame) step() {
+	if f.remaining == 0 {
+		f.complete()
+		return
+	}
+	f.remaining--
+	f.r.col.Alloc(f.sliceBytes, f.onAlloc)
+}
+
+// allocDone is the frame's Collector.Alloc continuation: on success it burns
+// the slice's service CPU (the barrier tax is sampled per slice so
+// concurrent-cycle activity is reflected while it is actually running); on
+// OutOfMemory it flags the run and parks.
+func (f *eventFrame) allocDone(ok bool) {
+	if !ok {
+		f.r.oom = true
+		f.r.releaseFrame(f)
+		return
+	}
+	f.w.Exec(f.sliceCost*f.r.col.MutatorFactor(), f.onExec)
+}
+
+// execDone is the frame's Thread.Exec continuation.
+func (f *eventFrame) execDone() { f.step() }
+
+// complete finishes the event under the frame's discipline: closed-loop
+// events record claim-to-completion latency and have the worker claim the
+// next event; open-loop events record arrival-to-completion latency and
+// re-dispatch the queue.
+func (f *eventFrame) complete() {
+	r := f.r
+	if f.open {
+		f.completeOpen()
+		return
+	}
+	inBuild := r.iter == 0 && f.idx < r.buildEvents
+	if inBuild {
+		frac := float64(f.idx+1) / float64(r.buildEvents)
+		r.h.SetTargetLive(r.targetLive(0) * frac)
+	} else if r.recording {
+		r.latencies = append(r.latencies, Event{Start: f.start, End: r.eng.Now()})
+	}
+	w := f.w
+	r.releaseFrame(f)
+	r.startNext(w)
 }
 
 // Run executes the workload under cfg and returns its measurements.
@@ -205,6 +325,11 @@ func Run(d *Descriptor, cfg RunConfig) (*Result, error) {
 	if d.BuildFrac > 0 {
 		r.buildEvents = int(float64(events) * d.BuildFrac)
 	}
+	if d.LatencySensitive || cfg.RecordLatency {
+		// One latency buffer per run, reused across recorded iterations; the
+		// final iteration's events become Result.Events.
+		r.latencies = make([]Event, 0, events)
+	}
 	for i := 0; i < threads; i++ {
 		w := eng.NewThread(fmt.Sprintf("%s-worker-%d", d.Name, i))
 		w.SetKernelFraction(d.KernelFrac)
@@ -220,7 +345,7 @@ func Run(d *Descriptor, cfg RunConfig) (*Result, error) {
 			HeapUsed:     h.Used,
 			LiveEst:      h.TargetLive,
 			GCCPUNS:      col.GCCPU,
-			MutatorCPUNS: func() float64 { return r.mutatorCPU() },
+			MutatorCPUNS: r.mutatorCPU,
 			StallNS:      func() float64 { return log.StallNS },
 		}).Attach(eng)
 	}
@@ -241,9 +366,7 @@ func Run(d *Descriptor, cfg RunConfig) (*Result, error) {
 	}
 	res.Events = r.latencies
 	res.GCCPUNS = col.GCCPU()
-	for _, w := range r.workers {
-		res.MutatorCPUNS += w.CPU()
-	}
+	res.MutatorCPUNS = r.mutatorCPU()
 	return res, nil
 }
 
@@ -268,7 +391,7 @@ func (r *runner) runIteration(iter int) (IterationResult, error) {
 	r.recording = iter == r.cfg.Iterations-1 &&
 		(r.d.LatencySensitive || r.cfg.RecordLatency)
 	if r.recording {
-		r.latencies = make([]Event, 0, r.events)
+		r.latencies = r.latencies[:0] // preallocated once in Run, reused
 	}
 	if iter == 0 && r.buildEvents > 0 {
 		// The live set ramps up as the build phase progresses.
@@ -310,13 +433,13 @@ func (r *runner) kernelCPU() float64 {
 	return sum
 }
 
-// mutatorCPU sums worker CPU for the sampler's utilization gauge.
+// mutatorCPU derives total worker CPU for the sampler's utilization gauge in
+// O(1): the engine's task clock covers every thread, so subtracting the
+// collector's share leaves the mutators'. The sampler reads this gauge on
+// every tick, so an O(threads) sum here would scale sampling cost with the
+// machine model.
 func (r *runner) mutatorCPU() float64 {
-	var sum float64
-	for _, w := range r.workers {
-		sum += w.CPU()
-	}
-	return sum
+	return r.eng.TaskClock() - r.col.GCCPU()
 }
 
 // allocSliceBytes bounds a single allocation request so that one event's
@@ -325,59 +448,17 @@ func (r *runner) mutatorCPU() float64 {
 // land mid-event as it does in reality.
 const allocSliceBytes = 512 << 10
 
-// executeEvent runs one event's sliced allocate-then-compute sequence on
-// worker w and calls done when the event completes (or flags OOM and stops).
-// Both the closed-loop and open-loop disciplines are built on it.
-func (r *runner) executeEvent(w *sim.Thread, done func()) {
-	bytes := r.rng.Jitter(r.bytesPer, 0.10)
-	slices := 1 + int(bytes/allocSliceBytes)
-	if slices > 64 {
-		slices = 64
-	}
-	cost := r.rng.LogNormal(r.medianNS, r.d.ServiceSigma) *
-		r.archFactor *
-		r.d.Jit.Factor(r.cfg.Compiler, r.iter)
-	sliceBytes := bytes / float64(slices)
-	sliceCost := cost / float64(slices)
-
-	remaining := slices
-	var step func()
-	step = func() {
-		if remaining == 0 {
-			done()
-			return
-		}
-		remaining--
-		r.col.Alloc(sliceBytes, func(ok bool) {
-			if !ok {
-				r.oom = true
-				return
-			}
-			// The barrier tax is sampled per slice so concurrent-cycle
-			// activity is reflected while it is actually running.
-			w.Exec(sliceCost*r.col.MutatorFactor(), step)
-		})
-	}
-	step()
-}
-
 // startNext has worker w claim and process the next event of the iteration:
 // allocate (possibly stalling in GC), burn service CPU, record, repeat.
 func (r *runner) startNext(w *sim.Thread) {
 	if r.oom || r.nextEvent >= r.events {
 		return // worker parks; the engine drains when all park
 	}
-	idx := r.nextEvent
+	f := r.newFrame()
+	f.w = w
+	f.idx = r.nextEvent
+	f.open = false
+	f.start = r.eng.Now()
 	r.nextEvent++
-	start := r.eng.Now()
-	r.executeEvent(w, func() {
-		inBuild := r.iter == 0 && idx < r.buildEvents
-		if inBuild {
-			frac := float64(idx+1) / float64(r.buildEvents)
-			r.h.SetTargetLive(r.targetLive(0) * frac)
-		} else if r.recording {
-			r.latencies = append(r.latencies, Event{Start: start, End: r.eng.Now()})
-		}
-		r.startNext(w)
-	})
+	f.begin()
 }
