@@ -1,8 +1,13 @@
 # Tier-1 verification (see ROADMAP.md): build, vet, and the full test suite
 # under the race detector — the engine is deliberately concurrent, so -race
-# is part of the baseline, not an extra.
+# is part of the baseline, not an extra. The shutdown-race, single-flight,
+# and worker-count-determinism regressions only manifest under -race, so
+# tier1 delegates to tier1-race rather than running a raceless suite.
 .PHONY: tier1
-tier1:
+tier1: tier1-race
+
+.PHONY: tier1-race
+tier1-race:
 	go build ./...
 	go vet ./...
 	go test -race ./...
@@ -11,16 +16,19 @@ tier1:
 test:
 	go test ./...
 
-# Hot-path microbenchmarks: the scheduler (BenchmarkEngine*, internal/sim)
-# and the end-to-end invocation path (BenchmarkRunInvocation*, root package,
-# one sub-benchmark per collector). ns/op and allocs/op are captured to
-# BENCH_sim.json so perf — and the hot path's zero-allocation contract — are
-# diffable.
+# Hot-path microbenchmarks: the scheduler (BenchmarkEngine*, internal/sim),
+# the end-to-end invocation path (BenchmarkRunInvocation*, root package, one
+# sub-benchmark per collector), and the whole-suite batch-execution path
+# (BenchmarkFullSuite, workers=1 vs workers=8). Each benchmark runs five
+# times and benchjson records the per-metric median, so the committed
+# BENCH_sim.json baseline is median-of-five — directly comparable to the
+# median-of-five gate runs and robust to scheduler noise on loaded hosts.
 .PHONY: bench
 bench:
 	( go test -run='^$$' -bench='BenchmarkEngine' -benchmem -benchtime=300ms \
-		./internal/sim && \
-	  go test -run='^$$' -bench='BenchmarkRunInvocation' -benchmem . ) \
+		-count=5 ./internal/sim && \
+	  go test -run='^$$' -bench='BenchmarkRunInvocation' -benchmem -count=5 . && \
+	  go test -run='^$$' -bench='BenchmarkFullSuite' -benchtime=1x -count=5 . ) \
 		| go run ./cmd/benchjson -out BENCH_sim.json
 
 # Statistical perf-regression gate: run the hot-path microbenchmarks five
@@ -32,7 +40,8 @@ bench:
 bench-gate:
 	( go test -run='^$$' -bench='BenchmarkEngine' -benchmem -benchtime=300ms \
 		-count=5 ./internal/sim && \
-	  go test -run='^$$' -bench='BenchmarkRunInvocation' -benchmem -count=5 . ) \
+	  go test -run='^$$' -bench='BenchmarkRunInvocation' -benchmem -count=5 . && \
+	  go test -run='^$$' -bench='BenchmarkFullSuite' -benchtime=1x -count=5 . ) \
 		| tee bench-gate.txt
 	go run ./cmd/benchdiff -threshold 0.10 BENCH_sim.json bench-gate.txt
 

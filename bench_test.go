@@ -9,6 +9,7 @@
 package chopin
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -403,6 +404,57 @@ func BenchmarkAblationGenerational(b *testing.B) {
 		zgc := run(gc.ZGC)
 		gen := run(gc.GenZGC)
 		b.ReportMetric(zgc/gen, "zgc-over-genzgc-gccpu")
+	}
+}
+
+// BenchmarkFullSuite measures whole-suite parallel execution end to end: a
+// reduced representative plan — four benchmarks x three collectors x three
+// heap factors of LBO plus latency sweeps for the latency-sensitive pair —
+// submitted up front as one batch of job DAGs (min-heap anchors first, grid
+// cells as anchors resolve) and collected in deterministic merge order. The
+// workers=1 and workers=8 variants bound the scaling headroom: on a
+// multi-core host the 8-worker run should finish several times faster,
+// while merged results stay byte-identical (the harness golden pins that).
+// `make bench` records both, so `make bench-gate` catches regressions in
+// the saturated path and in the serial path independently.
+func BenchmarkFullSuite(b *testing.B) {
+	bs := []*workload.Descriptor{
+		workload.Fop, workload.Lusearch, workload.Cassandra, workload.H2,
+	}
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := NewEngine(EngineOptions{Workers: workers})
+				opt := harness.Options{
+					Collectors:  []gc.Kind{gc.Serial, gc.G1, gc.Shenandoah},
+					HeapFactors: []float64{1.5, 2, 3},
+					Invocations: 2,
+					Iterations:  2,
+					Events:      300,
+					Seed:        42,
+					Engine:      eng,
+				}
+				// Submit the whole plan before collecting anything.
+				suite := harness.SubmitSuiteLBO(bs, opt)
+				var lats []*harness.PendingLatency
+				for _, d := range bs {
+					if d.LatencySensitive {
+						lats = append(lats, harness.SubmitLatency(d, []float64{2}, opt))
+					}
+				}
+				if _, _, err := suite.Wait(); err != nil {
+					b.Fatal(err)
+				}
+				for _, p := range lats {
+					if _, err := p.Wait(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := eng.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

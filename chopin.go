@@ -114,6 +114,20 @@ type (
 	EngineStats = exper.Stats
 	// EngineEvent is one structured progress notification from an Engine.
 	EngineEvent = exper.Event
+	// JobTicket is the handle Engine.Submit returns for one in-flight job;
+	// Wait blocks for its outcome. Identical concurrent submissions share
+	// one execution.
+	JobTicket = exper.Ticket
+	// MinHeapTicket is the handle for an asynchronous minimum-heap
+	// measurement (Engine.SubmitMinHeap) — the anchor job of a sweep's DAG.
+	MinHeapTicket = exper.MinHeapTicket
+	// PendingLBO is a submitted-but-uncollected LBO sweep (SubmitLBO).
+	PendingLBO = harness.PendingGrid
+	// PendingSuiteLBO is a submitted whole-suite LBO plan (SubmitSuiteLBO).
+	PendingSuiteLBO = harness.PendingSuite
+	// PendingLatency is a submitted-but-uncollected latency sweep
+	// (SubmitLatency).
+	PendingLatency = harness.PendingLatency
 	// ResultCache is the content-addressed invocation-level result store.
 	ResultCache = exper.Cache
 	// CacheMode selects how an engine uses its ResultCache.
@@ -284,6 +298,27 @@ func MeasureLBO(b *Benchmark, opt SweepOptions) (*LBOGrid, float64, error) {
 // and the cross-suite geometric-mean curves of Figure 1.
 func SuiteLBO(bs []*Benchmark, opt SweepOptions) ([]*LBOGrid, []GeomeanPoint, error) {
 	return harness.SuiteLBO(bs, opt)
+}
+
+// SubmitLBO registers one benchmark's whole LBO sweep as a job DAG — the
+// min-heap measurement as anchor, every grid cell batched behind it — and
+// returns immediately. Submit several sweeps before waiting on any to run a
+// whole plan at host-core saturation; merged results are deterministic at
+// any worker count.
+func SubmitLBO(b *Benchmark, opt SweepOptions) *PendingLBO {
+	return harness.SubmitLBOGrid(b, opt)
+}
+
+// SubmitSuiteLBO registers the whole suite's LBO plan (nil = every
+// benchmark) as one up-front batch of job DAGs.
+func SubmitSuiteLBO(bs []*Benchmark, opt SweepOptions) *PendingSuiteLBO {
+	return harness.SubmitSuiteLBO(bs, opt)
+}
+
+// SubmitLatency registers the latency experiment of Figures 3 and 6 as a
+// job DAG and returns immediately (nil factors = the paper's 2x and 6x).
+func SubmitLatency(b *Benchmark, factors []float64, opt SweepOptions) *PendingLatency {
+	return harness.SubmitLatency(b, factors, opt)
 }
 
 // MeasureLatency runs the latency experiment of Figures 3 and 6 at the

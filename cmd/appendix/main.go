@@ -17,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"chopin/internal/exper"
 	"chopin/internal/figures"
@@ -47,14 +48,23 @@ func main() {
 	check(err)
 
 	// Suite-wide characterization first: ranks are relative to the suite.
-	var chars []*nominal.Characterization
-	for _, d := range ds {
+	// Benchmarks characterize concurrently over the shared engine pool.
+	chars := make([]*nominal.Characterization, len(ds))
+	charErrs := make([]error, len(ds))
+	var wg sync.WaitGroup
+	for i, d := range ds {
 		fmt.Fprintf(os.Stderr, "appendix: characterizing %s\n", d.Name)
-		c, err := nominal.Characterize(d, nominal.Options{
-			Events: *events, Seed: *seed, SkipSizeVariants: *quick, Run: eng.Run,
-		})
+		wg.Add(1)
+		go func(i int, d *workload.Descriptor) {
+			defer wg.Done()
+			chars[i], charErrs[i] = nominal.Characterize(d, nominal.Options{
+				Events: *events, Seed: *seed, SkipSizeVariants: *quick, Run: eng.Run,
+			})
+		}(i, d)
+	}
+	wg.Wait()
+	for _, err := range charErrs {
 		check(err)
-		chars = append(chars, c)
 	}
 	table := nominal.BuildSuite(chars)
 
@@ -65,15 +75,38 @@ func main() {
 		HeapFactors: []float64{1, 1.5, 2, 3, 4, 6},
 		Engine:      eng,
 	}
-	for _, d := range ds {
+	// Every section's sweeps are submitted before any section is rendered:
+	// each benchmark's LBO grid and latency sweep go in as job DAGs sharing
+	// one min-heap anchor, keeping the pool saturated across the suite.
+	sections := make([]*pendingSection, len(ds))
+	for i, d := range ds {
+		fmt.Fprintf(os.Stderr, "appendix: submitting sweeps for %s\n", d.Name)
+		sections[i] = submitSection(d, opt)
+	}
+	for i, d := range ds {
 		fmt.Fprintf(os.Stderr, "appendix: building section for %s\n", d.Name)
-		check(section(d, table, opt, *outDir))
+		check(sections[i].render(d, table, opt, *outDir))
 	}
 	fmt.Fprintf(os.Stderr, "appendix: written to %s\n", *outDir)
 }
 
-// section writes one benchmark's appendix chapter.
-func section(d *workload.Descriptor, table *nominal.SuiteTable,
+// pendingSection holds one benchmark's in-flight sweeps.
+type pendingSection struct {
+	grid    *harness.PendingGrid
+	latency *harness.PendingLatency // nil unless latency-sensitive
+}
+
+// submitSection registers the benchmark's appendix sweeps with the engine.
+func submitSection(d *workload.Descriptor, opt harness.Options) *pendingSection {
+	p := &pendingSection{grid: harness.SubmitLBOGrid(d, opt)}
+	if d.LatencySensitive {
+		p.latency = harness.SubmitLatency(d, []float64{2, 6}, opt)
+	}
+	return p
+}
+
+// render collects the benchmark's sweeps and writes its appendix chapter.
+func (p *pendingSection) render(d *workload.Descriptor, table *nominal.SuiteTable,
 	opt harness.Options, outDir string) error {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n%s\n\n", strings.ToUpper(d.Name), strings.Repeat("=", len(d.Name)))
@@ -92,7 +125,7 @@ func section(d *workload.Descriptor, table *nominal.SuiteTable,
 	b.WriteString(stats)
 
 	b.WriteString("\n--- Lower bound overheads ---\n\n")
-	grid, minMB, err := harness.LBOGrid(d, opt)
+	grid, minMB, err := p.grid.Wait()
 	if err != nil {
 		return err
 	}
@@ -109,9 +142,9 @@ func section(d *workload.Descriptor, table *nominal.SuiteTable,
 	}
 	b.WriteString(figures.HeapTimelineFigure(d.Name, samples))
 
-	if d.LatencySensitive {
+	if p.latency != nil {
 		b.WriteString("\n--- User-experienced latency (2x and 6x heaps) ---\n\n")
-		results, err := harness.Latency(d, []float64{2, 6}, opt)
+		results, err := p.latency.Wait()
 		if err != nil {
 			return err
 		}

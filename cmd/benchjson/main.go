@@ -2,10 +2,12 @@
 //
 // It reads benchmark output on stdin, echoes it unchanged to stdout (so the
 // run stays visible in the terminal and in CI logs), and writes a JSON file
-// mapping benchmark name → {ns_per_op, b_per_op, allocs_per_op}. The
-// GOMAXPROCS suffix (-8 etc.) is stripped so the names are stable across
-// machines; `make bench` uses it to seed the repo's perf trajectory in
-// BENCH_sim.json.
+// mapping benchmark name → {ns_per_op, b_per_op, allocs_per_op}. When a
+// benchmark appears more than once (go test -count=N), the per-metric
+// median is recorded, so a baseline captured with -count=5 is directly
+// comparable to cmd/benchdiff's median-of-five gate runs. The GOMAXPROCS
+// suffix (-8 etc.) is stripped so the names are stable across machines;
+// `make bench` uses it to seed the repo's perf trajectory in BENCH_sim.json.
 //
 // Usage:
 //
@@ -42,7 +44,7 @@ func main() {
 	out := flag.String("out", "BENCH_sim.json", "output JSON path")
 	flag.Parse()
 
-	results := map[string]Measurement{}
+	samples := map[string][]Measurement{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -66,15 +68,19 @@ func main() {
 			a, _ := strconv.ParseInt(m[5], 10, 64)
 			meas.AllocsPerOp = &a
 		}
-		results[m[1]] = meas
+		samples[m[1]] = append(samples[m[1]], meas)
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
 		os.Exit(1)
 	}
-	if len(results) == 0 {
+	if len(samples) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
 		os.Exit(1)
+	}
+	results := make(map[string]Measurement, len(samples))
+	for n, ss := range samples {
+		results[n] = medianMeasurement(ss)
 	}
 
 	// Deterministic output: marshal via a sorted intermediate form.
@@ -103,4 +109,55 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+}
+
+// medianMeasurement reduces repeated samples of one benchmark (-count=N)
+// to their per-metric medians. Metrics are reduced independently: the
+// median ns/op run is not necessarily the median-allocation run, and a
+// per-metric median is the robust baseline for benchdiff's median gate.
+func medianMeasurement(ss []Measurement) Measurement {
+	med := Measurement{
+		NsPerOp:    medianFloat(ss, func(m Measurement) (float64, bool) { return m.NsPerOp, true }),
+		Iterations: int64(medianFloat(ss, func(m Measurement) (float64, bool) { return float64(m.Iterations), true })),
+	}
+	if b := medianInt(ss, func(m Measurement) *int64 { return m.BPerOp }); b != nil {
+		med.BPerOp = b
+	}
+	if a := medianInt(ss, func(m Measurement) *int64 { return m.AllocsPerOp }); a != nil {
+		med.AllocsPerOp = a
+	}
+	return med
+}
+
+func medianFloat(ss []Measurement, get func(Measurement) (float64, bool)) float64 {
+	var vs []float64
+	for _, m := range ss {
+		if v, ok := get(m); ok {
+			vs = append(vs, v)
+		}
+	}
+	if len(vs) == 0 {
+		return 0
+	}
+	sort.Float64s(vs)
+	if n := len(vs); n%2 == 1 {
+		return vs[n/2]
+	} else {
+		return (vs[n/2-1] + vs[n/2]) / 2
+	}
+}
+
+func medianInt(ss []Measurement, get func(Measurement) *int64) *int64 {
+	var vs []int64
+	for _, m := range ss {
+		if p := get(m); p != nil {
+			vs = append(vs, *p)
+		}
+	}
+	if len(vs) == 0 {
+		return nil
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	v := vs[len(vs)/2]
+	return &v
 }

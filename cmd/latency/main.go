@@ -69,12 +69,15 @@ func main() {
 	}
 
 	fmt.Fprintf(os.Stderr, "latency: running %s at %v x minheap\n", d.Name, factors)
-	var results []harness.LatencyResult
+	// The sweep is one job DAG: the min-heap anchor and, as soon as it
+	// resolves, every (collector, factor) cell as one batch.
+	var pending *harness.PendingLatency
 	if *openLoop {
-		results, err = harness.LatencyOpenLoop(d, factors, *headroom, opt)
+		pending = harness.SubmitLatencyOpenLoop(d, factors, *headroom, opt)
 	} else {
-		results, err = harness.Latency(d, factors, opt)
+		pending = harness.SubmitLatency(d, factors, opt)
 	}
+	results, err := pending.Wait()
 	check(err)
 
 	if *csvDir != "" {

@@ -86,9 +86,15 @@ func main() {
 		return
 	}
 
-	for _, d := range ds {
+	// Submit every benchmark's sweep before collecting any: the engine sees
+	// the whole batch at once, and output stays in benchmark order.
+	pending := make([]*harness.PendingGrid, len(ds))
+	for i, d := range ds {
 		fmt.Fprintf(os.Stderr, "lbo: sweeping %s\n", d.Name)
-		grid, minMB, err := harness.LBOGrid(d, opt)
+		pending[i] = harness.SubmitLBOGrid(d, opt)
+	}
+	for i := range ds {
+		grid, minMB, err := pending[i].Wait()
 		check(err)
 		out, err := figures.LBOFigure(grid, minMB)
 		check(err)

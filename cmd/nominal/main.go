@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"chopin/internal/cpuarch"
 	"chopin/internal/exper"
@@ -69,14 +70,26 @@ func main() {
 }
 
 func characterizeAll(eng *exper.Engine, events int, quick bool, seed uint64) *nominal.SuiteTable {
-	var chars []*nominal.Characterization
-	for _, d := range workload.All() {
+	// Characterizations are independent per benchmark: run the whole suite
+	// concurrently over the shared engine pool (every probe is an engine
+	// job), assembling the table in suite order.
+	ds := workload.All()
+	chars := make([]*nominal.Characterization, len(ds))
+	errs := make([]error, len(ds))
+	var wg sync.WaitGroup
+	for i, d := range ds {
 		fmt.Fprintf(os.Stderr, "nominal: characterizing %s\n", d.Name)
-		c, err := nominal.Characterize(d, nominal.Options{
-			Events: events, Seed: seed, SkipSizeVariants: quick, Run: eng.Run,
-		})
+		wg.Add(1)
+		go func(i int, d *workload.Descriptor) {
+			defer wg.Done()
+			chars[i], errs[i] = nominal.Characterize(d, nominal.Options{
+				Events: events, Seed: seed, SkipSizeVariants: quick, Run: eng.Run,
+			})
+		}(i, d)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		check(err)
-		chars = append(chars, c)
 	}
 	return nominal.BuildSuite(chars)
 }
@@ -86,12 +99,24 @@ func characterizeAll(eng *exper.Engine, events int, quick bool, seed uint64) *no
 func printCalibration(eng *exper.Engine, events int, seed uint64) {
 	t := report.NewTable("benchmark",
 		"GMD meas", "GMD pub", "ARA meas", "ARA pub", "PET meas", "PET pub", "GSS meas")
-	for _, d := range workload.All() {
+	ds := workload.All()
+	chars := make([]*nominal.Characterization, len(ds))
+	errs := make([]error, len(ds))
+	var wg sync.WaitGroup
+	for i, d := range ds {
 		fmt.Fprintf(os.Stderr, "nominal: measuring %s\n", d.Name)
-		c, err := nominal.Characterize(d, nominal.Options{
-			Events: events, Seed: seed, SkipSizeVariants: true, Invocations: 2, Run: eng.Run,
-		})
-		check(err)
+		wg.Add(1)
+		go func(i int, d *workload.Descriptor) {
+			defer wg.Done()
+			chars[i], errs[i] = nominal.Characterize(d, nominal.Options{
+				Events: events, Seed: seed, SkipSizeVariants: true, Invocations: 2, Run: eng.Run,
+			})
+		}(i, d)
+	}
+	wg.Wait()
+	for i, d := range ds {
+		check(errs[i])
+		c := chars[i]
 		t.AddRowf(d.Name,
 			c.Value("GMD"), d.MinHeapMB,
 			c.Value("ARA"), d.ARA,

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"chopin/internal/exper"
 	"chopin/internal/figures"
@@ -92,19 +93,35 @@ func main() {
 
 	// One engine for the whole plan: a single work-stealing pool bounds
 	// parallelism across experiments, and min-heap measurements shared by
-	// several experiments run once.
-	for _, exp := range plan.Experiments {
-		fmt.Fprintf(os.Stderr, "runbms: experiment %q (%s)\n", exp.Name, exp.Type)
-		check(run(eng, exp, *outDir))
+	// several experiments run once. The entire plan is submitted as one
+	// batch of jobs before anything is collected, so the pool sees every
+	// experiment at once and host cores stay saturated from the first
+	// min-heap probe to the last sweep cell; results are then collected and
+	// rendered in plan order, so output is deterministic whatever the
+	// execution interleaving.
+	collects := make([]func() error, len(plan.Experiments))
+	for i, exp := range plan.Experiments {
+		fmt.Fprintf(os.Stderr, "runbms: submitting experiment %q (%s)\n", exp.Name, exp.Type)
+		collect, err := submit(eng, exp, *outDir)
+		check(err)
+		collects[i] = collect
+	}
+	for i, exp := range plan.Experiments {
+		check(collects[i]())
+		fmt.Fprintf(os.Stderr, "runbms: experiment %q done\n", exp.Name)
 	}
 	fmt.Fprintf(os.Stderr, "runbms: %s\n", exper.Summary(eng.Stats()))
 	fmt.Fprintf(os.Stderr, "runbms: results in %s\n", *outDir)
 }
 
-func run(eng *exper.Engine, exp Experiment, outDir string) error {
+// submit registers one experiment's jobs with the engine and returns a
+// collect function that waits for them and renders the experiment's output.
+// All submission happens before submit returns, so calling it for every
+// experiment of a plan builds the plan's whole job DAG up front.
+func submit(eng *exper.Engine, exp Experiment, outDir string) (func() error, error) {
 	ds, err := benchmarks(exp.Benchmarks)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	opt := harness.Options{
 		HeapFactors: exp.HeapFactors,
@@ -117,101 +134,136 @@ func run(eng *exper.Engine, exp Experiment, outDir string) error {
 	for _, name := range exp.Collectors {
 		k, err := gc.ParseKind(name)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		opt.Collectors = append(opt.Collectors, k)
 	}
 
 	switch exp.Type {
 	case "lbo":
-		grids, pts, err := harness.SuiteLBO(ds, opt)
-		if err != nil {
-			return err
-		}
-		var names []string
-		for _, k := range optCollectors(opt) {
-			names = append(names, k.String())
-		}
-		if err := writeFile(outDir, exp.Name+"_geomean.txt",
-			figures.GeomeanFigure(pts, names)); err != nil {
-			return err
-		}
-		for _, g := range grids {
-			min := 0.0
-			for _, c := range g.Cells {
-				if c.HeapFactor == 1 || min == 0 {
-					min = c.HeapMB / c.HeapFactor
+		suite := harness.SubmitSuiteLBO(ds, opt)
+		return func() error {
+			grids, pts, err := suite.Wait()
+			if err != nil {
+				return err
+			}
+			var names []string
+			for _, k := range optCollectors(opt) {
+				names = append(names, k.String())
+			}
+			if err := writeFile(outDir, exp.Name+"_geomean.txt",
+				figures.GeomeanFigure(pts, names)); err != nil {
+				return err
+			}
+			for _, g := range grids {
+				min := 0.0
+				for _, c := range g.Cells {
+					if c.HeapFactor == 1 || min == 0 {
+						min = c.HeapMB / c.HeapFactor
+					}
+				}
+				out, err := figures.LBOFigure(g, min)
+				if err != nil {
+					return err
+				}
+				if err := writeFile(outDir, exp.Name+"_"+g.Benchmark+".txt", out); err != nil {
+					return err
 				}
 			}
-			out, err := figures.LBOFigure(g, min)
-			if err != nil {
-				return err
-			}
-			if err := writeFile(outDir, exp.Name+"_"+g.Benchmark+".txt", out); err != nil {
-				return err
-			}
-		}
-		return nil
+			return nil
+		}, nil
 	case "latency":
-		for _, d := range ds {
-			results, err := harness.Latency(d, exp.HeapFactors, opt)
-			if err != nil {
-				return err
-			}
-			body := figures.LatencyFigure(results) + "\n" +
-				figures.PauseSummary(results) + "\n" + figures.MMUFigure(results)
-			if err := writeFile(outDir, exp.Name+"_"+d.Name+".txt", body); err != nil {
-				return err
-			}
+		pending := make([]*harness.PendingLatency, len(ds))
+		for i, d := range ds {
+			pending[i] = harness.SubmitLatency(d, exp.HeapFactors, opt)
 		}
-		return nil
+		return func() error {
+			for i, d := range ds {
+				results, err := pending[i].Wait()
+				if err != nil {
+					return err
+				}
+				body := figures.LatencyFigure(results) + "\n" +
+					figures.PauseSummary(results) + "\n" + figures.MMUFigure(results)
+				if err := writeFile(outDir, exp.Name+"_"+d.Name+".txt", body); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, nil
 	case "heaptrace":
-		for _, d := range ds {
-			samples, err := harness.HeapTimeline(d, opt)
-			if err != nil {
-				return err
-			}
-			if err := writeFile(outDir, exp.Name+"_"+d.Name+".txt",
-				figures.HeapTimelineFigure(d.Name, samples)); err != nil {
-				return err
-			}
+		// HeapTimeline is a two-job chain (min-heap anchor, one trace run);
+		// one orchestration goroutine per benchmark submits them all now.
+		samples := make([][]harness.HeapSample, len(ds))
+		errs := make([]error, len(ds))
+		var wg sync.WaitGroup
+		for i, d := range ds {
+			wg.Add(1)
+			go func(i int, d *workload.Descriptor) {
+				defer wg.Done()
+				samples[i], errs[i] = harness.HeapTimeline(d, opt)
+			}(i, d)
 		}
-		return nil
+		return func() error {
+			wg.Wait()
+			for i, d := range ds {
+				if errs[i] != nil {
+					return errs[i]
+				}
+				if err := writeFile(outDir, exp.Name+"_"+d.Name+".txt",
+					figures.HeapTimelineFigure(d.Name, samples[i])); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, nil
 	case "pca", "nominal":
-		var chars []*nominal.Characterization
-		for _, d := range ds {
-			fmt.Fprintf(os.Stderr, "runbms: characterizing %s\n", d.Name)
-			c, err := nominal.Characterize(d, nominal.Options{
-				Events: exp.Events, Seed: exp.Seed, SkipSizeVariants: true, Run: eng.Run,
-			})
-			if err != nil {
+		// Characterizations are independent per benchmark: run them all
+		// concurrently over the shared engine (each one's probes are engine
+		// jobs), collect in suite order.
+		chars := make([]*nominal.Characterization, len(ds))
+		errs := make([]error, len(ds))
+		var wg sync.WaitGroup
+		for i, d := range ds {
+			wg.Add(1)
+			go func(i int, d *workload.Descriptor) {
+				defer wg.Done()
+				chars[i], errs[i] = nominal.Characterize(d, nominal.Options{
+					Events: exp.Events, Seed: exp.Seed, SkipSizeVariants: true, Run: eng.Run,
+				})
+			}(i, d)
+		}
+		return func() error {
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return err
+				}
+			}
+			table := nominal.BuildSuite(chars)
+			if exp.Type == "pca" {
+				out, err := figures.PCAFigure(table)
+				if err != nil {
+					return err
+				}
+				return writeFile(outDir, exp.Name+"_pca.txt", out)
+			}
+			if err := writeFile(outDir, exp.Name+"_table2.txt", figures.Table2(table)); err != nil {
 				return err
 			}
-			chars = append(chars, c)
-		}
-		table := nominal.BuildSuite(chars)
-		if exp.Type == "pca" {
-			out, err := figures.PCAFigure(table)
-			if err != nil {
-				return err
+			for _, d := range ds {
+				out, err := figures.BenchmarkTable(table, d.Name)
+				if err != nil {
+					return err
+				}
+				if err := writeFile(outDir, exp.Name+"_"+d.Name+".txt", out); err != nil {
+					return err
+				}
 			}
-			return writeFile(outDir, exp.Name+"_pca.txt", out)
-		}
-		if err := writeFile(outDir, exp.Name+"_table2.txt", figures.Table2(table)); err != nil {
-			return err
-		}
-		for _, d := range ds {
-			out, err := figures.BenchmarkTable(table, d.Name)
-			if err != nil {
-				return err
-			}
-			if err := writeFile(outDir, exp.Name+"_"+d.Name+".txt", out); err != nil {
-				return err
-			}
-		}
-		return nil
+			return nil
+		}, nil
 	}
-	return fmt.Errorf("unknown experiment type %q", exp.Type)
+	return nil, fmt.Errorf("unknown experiment type %q", exp.Type)
 }
 
 func optCollectors(opt harness.Options) []gc.Kind {

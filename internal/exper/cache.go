@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"chopin/internal/persist"
 )
@@ -22,18 +23,49 @@ const (
 	WriteOnly
 )
 
+// writeDepth bounds the write-behind queue. Deep enough that a burst of
+// completing workers never blocks on the writer; shallow enough that a dying
+// process loses at most a bounded window of results (each of which simply
+// re-runs next time).
+const writeDepth = 128
+
 // Cache is the content-addressed, invocation-level result store: one
 // persist archive per job key, sharded two-hex-characters deep
 // (dir/ab/abcdef….json) so large plans do not pile thousands of files into
 // one directory. Writes are atomic (write-then-rename in persist), so a
 // killed run leaves only complete archives behind — which is what makes
 // plans resumable.
+//
+// Invocation writes are write-behind: putInvocation parks the record in a
+// pending map and hands the serialization to a single writer goroutine, so
+// pool workers completing jobs concurrently never contend on disk I/O or on
+// each other. Reads consult the pending map first, making the deferral
+// invisible; write errors latch and surface at Flush (which Engine.Close
+// calls), degrading a full disk to a cold next run rather than a failed
+// sweep. Min-heap records are rare (one per workload per sweep shape) and
+// stay synchronous.
 type Cache struct {
 	dir  string
 	mode CacheMode
+
+	mu      sync.Mutex
+	pending map[Key]*persist.InvocationRecord
+	err     error // first write error; latched, reported by Flush
+
+	writes chan cacheWrite
 }
 
-// OpenCache opens (creating if necessary) a result cache rooted at dir.
+// cacheWrite is one queue entry: a record to serialize, or — when ack is
+// non-nil — a flush sentinel that reports the latched error once every
+// preceding write has drained (the queue is FIFO).
+type cacheWrite struct {
+	key Key
+	rec *persist.InvocationRecord
+	ack chan error
+}
+
+// OpenCache opens (creating if necessary) a result cache rooted at dir and
+// starts its write-behind goroutine.
 func OpenCache(dir string, mode CacheMode) (*Cache, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("exper: empty cache directory")
@@ -42,7 +74,14 @@ func OpenCache(dir string, mode CacheMode) (*Cache, error) {
 		return nil, fmt.Errorf("exper: opening cache: %w", err)
 	}
 	sweepTemps(dir)
-	return &Cache{dir: dir, mode: mode}, nil
+	c := &Cache{
+		dir:     dir,
+		mode:    mode,
+		pending: map[Key]*persist.InvocationRecord{},
+		writes:  make(chan cacheWrite, writeDepth),
+	}
+	go c.writer()
+	return c, nil
 }
 
 // sweepTemps removes write-then-rename debris a killed run leaves behind. A
@@ -69,13 +108,59 @@ func (c *Cache) path(k Key) string {
 	return filepath.Join(c.dir, k.Shard(), string(k)+".json")
 }
 
+// writer is the write-behind goroutine: it drains the queue, serializing
+// records one at a time and retiring them from the pending map, and answers
+// flush sentinels with the latched error.
+func (c *Cache) writer() {
+	for w := range c.writes {
+		if w.ack != nil {
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			w.ack <- err
+			continue
+		}
+		err := persist.SaveInvocation(c.path(w.key), w.rec)
+		c.mu.Lock()
+		if cur, ok := c.pending[w.key]; ok && cur == w.rec {
+			delete(c.pending, w.key)
+		}
+		if err != nil && c.err == nil {
+			c.err = fmt.Errorf("exper: caching %s: %w", w.key, err)
+		}
+		c.mu.Unlock()
+	}
+}
+
+// Flush blocks until every queued invocation write has reached disk and
+// returns the first write error latched since the previous Flush cleared —
+// the point where a sweep learns its results did not all persist. The cache
+// remains usable after Flush; Engine.Close flushes the engine's cache.
+func (c *Cache) Flush() error {
+	ack := make(chan error, 1)
+	c.writes <- cacheWrite{ack: ack}
+	err := <-ack
+	c.mu.Lock()
+	c.err = nil
+	c.mu.Unlock()
+	return err
+}
+
 // getInvocation loads the cached record for the key, if present and valid.
-// Unreadable or stale archives are treated as misses, never as failures:
-// the job simply re-runs and overwrites them.
+// Records still queued behind the write-behind path are served from memory,
+// so callers never observe the deferral. Unreadable or stale archives are
+// treated as misses, never as failures: the job simply re-runs and
+// overwrites them.
 func (c *Cache) getInvocation(k Key) (*persist.InvocationRecord, bool) {
 	if c.mode == WriteOnly {
 		return nil, false
 	}
+	c.mu.Lock()
+	if rec, ok := c.pending[k]; ok {
+		c.mu.Unlock()
+		return rec, true
+	}
+	c.mu.Unlock()
 	rec, err := persist.LoadInvocation(c.path(k))
 	if err != nil || rec.Key != string(k) {
 		return nil, false
@@ -83,8 +168,17 @@ func (c *Cache) getInvocation(k Key) (*persist.InvocationRecord, bool) {
 	return rec, true
 }
 
+// putInvocation queues the record for write-behind persistence. It returns
+// immediately (backpressure only when the queue is writeDepth deep); any
+// previously latched write error is returned as a courtesy, but the
+// authoritative error check is Flush.
 func (c *Cache) putInvocation(k Key, rec *persist.InvocationRecord) error {
-	return persist.SaveInvocation(c.path(k), rec)
+	c.mu.Lock()
+	c.pending[k] = rec
+	err := c.err
+	c.mu.Unlock()
+	c.writes <- cacheWrite{key: k, rec: rec}
+	return err
 }
 
 func (c *Cache) getMinHeap(k Key) (*persist.MinHeapRecord, bool) {

@@ -29,6 +29,9 @@ func TestOpenCacheSweepsOrphanedTemps(t *testing.T) {
 	if err := c.putInvocation(k, testRecord(k)); err != nil {
 		t.Fatal(err)
 	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
 
 	// Plant debris at both levels a torn write can leave it.
 	orphans := []string{
@@ -74,6 +77,9 @@ func TestTruncatedArchiveIsMiss(t *testing.T) {
 	if err := c.putInvocation(k, testRecord(k)); err != nil {
 		t.Fatal(err)
 	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	whole, err := os.ReadFile(c.path(k))
 	if err != nil {
 		t.Fatal(err)
@@ -93,6 +99,9 @@ func TestTruncatedArchiveIsMiss(t *testing.T) {
 
 	// The miss is recoverable: a re-run's put repairs the entry in place.
 	if err := c.putInvocation(k, testRecord(k)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := c.getInvocation(k); !ok {

@@ -31,6 +31,7 @@ type CLI struct {
 	Trace     string
 	JobTraces string
 
+	eng       *Engine
 	telem     *obs.JSONL
 	telemFile *os.File
 	traceFile *os.File
@@ -98,13 +99,23 @@ func (c *CLI) Build(w io.Writer, prefix string) (*Engine, error) {
 			}
 		}()
 	}
-	return New(opt), nil
+	c.eng = New(opt)
+	return c.eng, nil
 }
 
-// Close flushes and closes the telemetry sink, stops the runtime trace and
-// shuts down the pprof server. It is safe to call when none were enabled.
+// Close shuts down the engine — draining the pool and flushing the
+// write-behind result cache to disk — then flushes and closes the telemetry
+// sink, stops the runtime trace and shuts down the pprof server. Skipping it
+// loses whatever tail of cached results is still queued behind the cache
+// writer. It is safe to call when none were enabled.
 func (c *CLI) Close() error {
 	var first error
+	if c.eng != nil {
+		if err := c.eng.Close(); err != nil && first == nil {
+			first = err
+		}
+		c.eng = nil
+	}
 	if c.telem != nil {
 		if err := c.telem.Close(); err != nil && first == nil {
 			first = err

@@ -4,17 +4,35 @@
 // content and executed by a single work-stealing worker pool shared across
 // an entire experiment plan.
 //
+// Whole-suite sweeps are expressed as batches of jobs submitted up front:
+// Submit registers a job and returns a Ticket immediately, Wait blocks for
+// its outcome, and a harness submits every cell of a factorial grid before
+// collecting any of them — so the pool sees the entire plan at once and
+// keeps every host core saturated until the last job drains. Min-heap
+// measurements are asynchronous too (SubmitMinHeap), forming the
+// prerequisite layer of a plan's job DAG: grid cells are submitted the
+// moment their anchor resolves.
+//
 // Three layers make plans incremental and resumable:
 //
-//   - deduplication: concurrent submissions of an identical job coalesce
-//     onto one execution (min-heap probes shared by several sweeps run
-//     once, as an upstream job in the plan's job graph);
+//   - deduplication: submissions of a job identical to one already in
+//     flight coalesce onto the single execution, from the moment it is
+//     submitted to the moment its outcome resolves (min-heap probes shared
+//     by several sweeps run once, as an upstream job in the plan's graph);
 //   - memoization: an optional in-process memo returns completed outcomes
 //     without re-execution;
 //   - the content-addressed result cache (Cache, layered on
 //     internal/persist schema v2): completed invocations survive process
 //     death, so a killed or re-invoked plan skips straight to its first
 //     unfinished job, and figures re-render offline from cached results.
+//
+// Concurrency layout: the engine's job state (in-flight calls, memo) is
+// sharded by key across independently locked shards, the pool's deques are
+// per-worker behind per-deque locks, each executing job's telemetry is
+// buffered in a worker-owned buffer flushed to the shared sink in one batch
+// at the job boundary, and cache writes are handed to a write-behind
+// goroutine — so at full host-core saturation no per-event or per-transition
+// path crosses a pool-wide lock.
 //
 // The engine emits structured progress events (queued, started, finished,
 // cache-hit, with wall and task-clock telemetry) through an observer — the
@@ -59,6 +77,26 @@ type Options struct {
 	// <TraceDir>/<key>.trace.json — one causal timeline per invocation,
 	// loadable in Perfetto. Cache hits write nothing (they did not run).
 	TraceDir string
+
+	// runFn replaces the simulator entry point in tests (execution
+	// counting, fault injection); nil means workload.Run.
+	runFn func(*workload.Descriptor, workload.RunConfig) (*workload.Result, error)
+}
+
+// numShards is the engine's lock-shard count for job state. Keys are
+// uniformly distributed SHA-256 hashes, so 32 shards keep the per-shard
+// collision probability negligible at any realistic worker count.
+const numShards = 32
+
+// engineShard is one independently locked slice of the engine's job state.
+// Sharding by key keeps a whole-suite batch — thousands of submissions and
+// completions — from funnelling through one engine-wide mutex.
+type engineShard struct {
+	mu        sync.Mutex
+	inflight  map[Key]*call
+	memo      map[Key]outcome
+	minflight map[Key]*MinHeapTicket
+	minMemo   map[Key]float64
 }
 
 // Engine executes jobs. One engine should be shared across everything a
@@ -70,12 +108,10 @@ type Engine struct {
 	obs      func(Event)
 	rec      obs.Recorder
 	traceDir string
+	runFn    func(*workload.Descriptor, workload.RunConfig) (*workload.Result, error)
 
-	mu        sync.Mutex
-	inflight  map[Key]*call
-	memo      map[Key]outcome
-	minMemo   map[Key]float64
-	minflight map[Key]*minCall
+	shards [numShards]engineShard
+	bufs   sync.Pool // *jobRecorder, reused across job executions
 
 	executed         int64
 	cacheHits        int64
@@ -113,39 +149,96 @@ type outcome struct {
 	err error
 }
 
+// call is one in-flight execution, shared by every ticket deduplicated onto
+// it. out is written before done closes and read only after it.
 type call struct {
 	done chan struct{}
 	out  outcome
 }
 
-type minCall struct {
-	done chan struct{}
-	mb   float64
-	err  error
+// resolvedCall wraps an already-known outcome as a completed call, so memo
+// hits hand out tickets indistinguishable from executed ones.
+func resolvedCall(out outcome) *call {
+	c := &call{done: make(chan struct{}), out: out}
+	close(c.done)
+	return c
 }
+
+// Ticket is a handle to a submitted job. Wait blocks until the job's
+// outcome is available; any number of tickets may share one execution.
+type Ticket struct {
+	job Job
+	c   *call
+}
+
+// Wait blocks until the job completes and returns its outcome.
+func (t *Ticket) Wait() (*workload.Result, error) {
+	<-t.c.done
+	return t.c.out.res, t.c.out.err
+}
+
+// Key returns the canonical content hash of the submitted job.
+func (t *Ticket) Key() Key { return t.job.Key() }
 
 // New builds an engine and starts its worker pool.
 func New(opt Options) *Engine {
 	if opt.Workers <= 0 {
 		opt.Workers = runtime.NumCPU()
 	}
-	return &Engine{
-		pool:      newPool(opt.Workers),
-		cache:     opt.Cache,
-		memoize:   opt.Memoize,
-		obs:       opt.Observer,
-		rec:       obs.Or(opt.Recorder),
-		traceDir:  opt.TraceDir,
-		inflight:  map[Key]*call{},
-		memo:      map[Key]outcome{},
-		minMemo:   map[Key]float64{},
-		minflight: map[Key]*minCall{},
+	e := &Engine{
+		pool:     newPool(opt.Workers),
+		cache:    opt.Cache,
+		memoize:  opt.Memoize,
+		obs:      opt.Observer,
+		rec:      obs.Or(opt.Recorder),
+		traceDir: opt.TraceDir,
+		runFn:    opt.runFn,
 	}
+	if e.runFn == nil {
+		e.runFn = workload.Run
+	}
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.inflight = map[Key]*call{}
+		sh.memo = map[Key]outcome{}
+		sh.minflight = map[Key]*MinHeapTicket{}
+		sh.minMemo = map[Key]float64{}
+	}
+	e.bufs.New = func() any { return &jobRecorder{} }
+	return e
 }
 
-// Close stops the worker pool once submitted jobs drain. Using the engine
-// afterwards panics; long-lived engines need never close.
-func (e *Engine) Close() { e.pool.close() }
+// shard maps a key to its lock shard. Keys are hex SHA-256, so the first
+// two characters are uniformly distributed over [0, 256).
+func (e *Engine) shard(k Key) *engineShard {
+	if len(k) < 2 {
+		return &e.shards[0]
+	}
+	return &e.shards[(hexVal(k[0])<<4|hexVal(k[1]))%numShards]
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	}
+	return 0
+}
+
+// Close stops the worker pool once submitted jobs drain, then flushes the
+// write-behind result cache, returning its first write error. Submitting to
+// a closed engine does not panic: the job executes inline in the caller.
+// Long-lived engines need never close, but commands should, so queued cache
+// writes reach disk.
+func (e *Engine) Close() error {
+	e.pool.close()
+	if e.cache != nil {
+		return e.cache.Flush()
+	}
+	return nil
+}
 
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
@@ -198,45 +291,77 @@ func jobEvent(kind EventKind, j Job) Event {
 	}
 }
 
-// Run executes one invocation of the benchmark under cfg as an engine job:
-// deduplicated against identical in-flight jobs, satisfied from the result
-// cache when warm, otherwise executed on the shared worker pool and cached.
-// It blocks until the outcome is available; submit concurrent goroutines to
-// exploit the pool.
-func (e *Engine) Run(d *workload.Descriptor, cfg workload.RunConfig) (*workload.Result, error) {
+// Submit registers one invocation of the benchmark under cfg as an engine
+// job and returns immediately with a ticket for its outcome. The job is
+// deduplicated against identical in-flight submissions (single-flight: a
+// second Submit for the same key shares the first's execution, from
+// submission to resolution), satisfied from the in-process memo when warm,
+// and otherwise enqueued on the shared worker pool, where the executing
+// worker checks the persistent cache before touching the simulator.
+// Submit whole sweeps up front and Wait in output order: the pool sees the
+// entire batch at once, and merged results are deterministic because
+// collection order is the caller's, not the scheduler's.
+func (e *Engine) Submit(d *workload.Descriptor, cfg workload.RunConfig) (*Ticket, error) {
 	job, err := NewJob(d, cfg)
 	if err != nil {
 		return nil, err
 	}
-	k := job.Key()
+	return e.submitJob(job), nil
+}
 
-	e.mu.Lock()
-	if out, ok := e.memo[k]; ok {
-		e.mu.Unlock()
-		atomic.AddInt64(&e.memoHits, 1)
-		return out.res, out.err
+// Run executes one invocation synchronously: Submit plus Wait. Use Submit
+// directly to batch jobs; Run remains the entry point for sequential
+// callers (min-heap bisection probes, nominal characterization).
+func (e *Engine) Run(d *workload.Descriptor, cfg workload.RunConfig) (*workload.Result, error) {
+	t, err := e.Submit(d, cfg)
+	if err != nil {
+		return nil, err
 	}
-	if c, ok := e.inflight[k]; ok {
-		e.mu.Unlock()
+	return t.Wait()
+}
+
+func (e *Engine) submitJob(job Job) *Ticket {
+	k := job.Key()
+	sh := e.shard(k)
+	sh.mu.Lock()
+	if out, ok := sh.memo[k]; ok {
+		sh.mu.Unlock()
+		atomic.AddInt64(&e.memoHits, 1)
+		return &Ticket{job: job, c: resolvedCall(out)}
+	}
+	if c, ok := sh.inflight[k]; ok {
+		sh.mu.Unlock()
 		atomic.AddInt64(&e.deduped, 1)
-		<-c.done
-		return c.out.res, c.out.err
+		return &Ticket{job: job, c: c}
 	}
 	c := &call{done: make(chan struct{})}
-	e.inflight[k] = c
-	e.mu.Unlock()
+	sh.inflight[k] = c
+	sh.mu.Unlock()
 
+	e.emit(jobEvent(JobQueued, job))
+	if !e.pool.submit(func() { e.runJob(job, c) }) {
+		// The pool lost a shutdown race: execute inline in the submitter
+		// rather than panicking or dropping the job.
+		e.runJob(job, c)
+	}
+	return &Ticket{job: job, c: c}
+}
+
+// runJob executes the single flight for a registered call and resolves it.
+// Runs on a pool worker (or inline in the submitter after Close).
+func (e *Engine) runJob(job Job, c *call) {
 	out := e.execute(job)
 
-	e.mu.Lock()
-	delete(e.inflight, k)
+	k := job.Key()
+	sh := e.shard(k)
+	sh.mu.Lock()
+	delete(sh.inflight, k)
 	if e.memoize && cacheable(out) {
-		e.memo[k] = out
+		sh.memo[k] = out
 	}
-	e.mu.Unlock()
+	sh.mu.Unlock()
 	c.out = out
 	close(c.done)
-	return out.res, out.err
 }
 
 // cacheable reports whether the outcome is a stable property of the job
@@ -249,7 +374,8 @@ func cacheable(out outcome) bool {
 	return errors.As(out.err, &oom)
 }
 
-// execute satisfies a job from the cache or runs it on the pool.
+// execute satisfies a job from the cache or runs it, entirely on the
+// calling (worker) goroutine.
 func (e *Engine) execute(job Job) outcome {
 	k := job.Key()
 	if e.cache != nil {
@@ -267,48 +393,47 @@ func (e *Engine) execute(job Job) outcome {
 		e.recordJob(obs.KindCacheMiss, job, k, 0, 0, "")
 	}
 
-	// Inject the telemetry stream into the run, stamped with the job key so
-	// events from concurrently executing invocations stay attributable. A
-	// recorder already set on the config wins (and still gets stamped); a
-	// TraceDir additionally buffers the job's own events for its per-job
-	// trace file.
-	var jobTrace *traceBuffer
-	if e.traceDir != "" {
-		jobTrace = &traceBuffer{}
-	}
+	// Telemetry for the run goes into a worker-owned per-job buffer — a
+	// recorder already set on the config, or the engine's, receives the
+	// whole run's events in one batch at the job boundary, so concurrent
+	// invocations never contend the shared sink per event. A simulator run
+	// records from exactly one goroutine, so the buffer needs no lock.
 	base := obs.Or(job.Cfg.Recorder)
 	if !base.Enabled() {
 		base = e.rec
 	}
-	if r := obs.Multi(base, jobTrace.orNil()); r.Enabled() {
-		job.Cfg.Recorder = obs.WithRun(r, string(k), job.Desc.Name, job.Cfg.Collector.String())
+	var buf *jobRecorder
+	if base.Enabled() || e.traceDir != "" {
+		buf = e.bufs.Get().(*jobRecorder)
+		buf.reset(string(k), job.Desc.Name, job.Cfg.Collector.String())
+		job.Cfg.Recorder = buf
 	}
 
-	e.emit(jobEvent(JobQueued, job))
-	done := make(chan outcome, 1)
-	e.pool.submit(func() {
-		e.emit(jobEvent(JobStarted, job))
-		e.recordJob(obs.KindJobStart, job, k, 0, 0, "")
-		hostStart := time.Now()
-		res, err := workload.Run(job.Desc, job.Cfg)
-		atomic.AddInt64(&e.executed, 1)
-		if err != nil {
-			e.recordJob(obs.KindJobFinish, job, k, float64(time.Since(hostStart)), 0, err.Error())
-		} else {
-			var cpu float64
-			for _, it := range res.Iterations {
-				cpu += it.CPUNS
-			}
-			e.recordJob(obs.KindJobFinish, job, k, float64(time.Since(hostStart)), cpu, "")
-		}
-		done <- outcome{res, err}
-	})
-	out := <-done
+	e.emit(jobEvent(JobStarted, job))
+	e.recordJob(obs.KindJobStart, job, k, 0, 0, "")
+	hostStart := time.Now()
+	res, err := e.runFn(job.Desc, job.Cfg)
+	atomic.AddInt64(&e.executed, 1)
+	out := outcome{res, err}
 
-	if jobTrace != nil {
-		if werr := e.writeJobTrace(k, jobTrace.take()); werr != nil && out.err == nil {
-			return outcome{nil, fmt.Errorf("exper: writing %s trace: %w", job.Desc.Name, werr)}
+	if buf != nil {
+		obs.RecordAll(base, buf.events)
+		if e.traceDir != "" {
+			if werr := e.writeJobTrace(k, buf.events); werr != nil && out.err == nil {
+				out = outcome{nil, fmt.Errorf("exper: writing %s trace: %w", job.Desc.Name, werr)}
+			}
 		}
+		e.bufs.Put(buf)
+	}
+
+	if err != nil {
+		e.recordJob(obs.KindJobFinish, job, k, float64(time.Since(hostStart)), 0, err.Error())
+	} else {
+		var cpu float64
+		for _, it := range res.Iterations {
+			cpu += it.CPUNS
+		}
+		e.recordJob(obs.KindJobFinish, job, k, float64(time.Since(hostStart)), cpu, "")
 	}
 
 	if out.err != nil {
@@ -316,9 +441,7 @@ func (e *Engine) execute(job Job) outcome {
 		if errors.As(out.err, &oom) {
 			atomic.AddInt64(&e.ooms, 1)
 			if e.cache != nil {
-				if werr := e.cache.putInvocation(k, e.record(job, nil, true)); werr != nil {
-					return outcome{nil, fmt.Errorf("exper: caching %s OOM: %w", job.Desc.Name, werr)}
-				}
+				e.cache.putInvocation(k, e.record(job, nil, true))
 			}
 		} else {
 			atomic.AddInt64(&e.failures, 1)
@@ -330,9 +453,7 @@ func (e *Engine) execute(job Job) outcome {
 	}
 
 	if e.cache != nil {
-		if werr := e.cache.putInvocation(k, e.record(job, out.res, false)); werr != nil {
-			return outcome{nil, fmt.Errorf("exper: caching %s result: %w", job.Desc.Name, werr)}
-		}
+		e.cache.putInvocation(k, e.record(job, out.res, false))
 	}
 	ev := jobEvent(JobFinished, job)
 	for _, it := range out.res.Iterations {

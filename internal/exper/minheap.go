@@ -22,18 +22,41 @@ const (
 	minHeapGrowthFactor   = 1.03
 )
 
-// MinHeapMB measures the benchmark's minimum viable heap under p: a
-// bisection search (every probe an engine job, so probes dedup and cache
-// like any other invocation), then validation of the bound against every
-// invocation seed the sweep will use, growing it 3% per failed attempt.
-// Measurements are content-addressed like jobs, memoized in-process, and
-// persisted in the cache — sweeps that share a benchmark share one
-// measurement, as an upstream job in the plan's graph.
-//
-// Unlike the pre-engine harness, a bound that still fails validation after
-// 20 growth attempts is an error — not a silently returned heap size whose
-// 1x row then OOMs its way through the whole sweep.
-func (e *Engine) MinHeapMB(d *workload.Descriptor, p MinHeapParams) (float64, error) {
+// MinHeapTicket is a handle to an asynchronous minimum-heap measurement.
+// In a plan's job DAG it is the prerequisite node: every sweep's heap sizes
+// derive from its result, so harnesses submit the min-heap measurements for
+// all workloads up front and attach each grid as a dependent the moment its
+// anchor resolves.
+type MinHeapTicket struct {
+	key  Key
+	done chan struct{}
+	mb   float64
+	err  error
+}
+
+// Wait blocks until the measurement completes and returns the bound in MB.
+func (t *MinHeapTicket) Wait() (float64, error) {
+	<-t.done
+	return t.mb, t.err
+}
+
+// Key returns the canonical content hash of the measurement.
+func (t *MinHeapTicket) Key() Key { return t.key }
+
+func resolvedMinHeapTicket(k Key, mb float64) *MinHeapTicket {
+	t := &MinHeapTicket{key: k, done: make(chan struct{}), mb: mb}
+	close(t.done)
+	return t
+}
+
+// SubmitMinHeap starts measuring the benchmark's minimum viable heap under p
+// and returns immediately with a ticket for the bound. The measurement —
+// bisection search plus seed validation, every probe an ordinary engine job
+// sharing the worker pool — runs on a dedicated orchestration goroutine, off
+// the pool, so probe jobs always have workers to land on. Measurements are
+// content-addressed, single-flighted (concurrent submissions for the same
+// key share one search), memoized in-process and persisted in the cache.
+func (e *Engine) SubmitMinHeap(d *workload.Descriptor, p MinHeapParams) (*MinHeapTicket, error) {
 	if p.Invocations < 1 {
 		p.Invocations = 1
 	}
@@ -42,34 +65,52 @@ func (e *Engine) MinHeapMB(d *workload.Descriptor, p MinHeapParams) (float64, er
 	}
 	k, err := minHeapKey(d, p)
 	if err != nil {
+		return nil, err
+	}
+
+	sh := e.shard(k)
+	sh.mu.Lock()
+	if mb, ok := sh.minMemo[k]; ok {
+		sh.mu.Unlock()
+		return resolvedMinHeapTicket(k, mb), nil
+	}
+	if t, ok := sh.minflight[k]; ok {
+		sh.mu.Unlock()
+		return t, nil
+	}
+	t := &MinHeapTicket{key: k, done: make(chan struct{})}
+	sh.minflight[k] = t
+	sh.mu.Unlock()
+
+	go func() {
+		mb, err := e.minHeap(k, d, p)
+		sh.mu.Lock()
+		delete(sh.minflight, k)
+		if err == nil {
+			sh.minMemo[k] = mb
+		}
+		sh.mu.Unlock()
+		t.mb, t.err = mb, err
+		close(t.done)
+	}()
+	return t, nil
+}
+
+// MinHeapMB measures the benchmark's minimum viable heap under p: a
+// bisection search (every probe an engine job, so probes dedup and cache
+// like any other invocation), then validation of the bound against every
+// invocation seed the sweep will use, growing it 3% per failed attempt.
+// Synchronous form of SubmitMinHeap.
+//
+// Unlike the pre-engine harness, a bound that still fails validation after
+// 20 growth attempts is an error — not a silently returned heap size whose
+// 1x row then OOMs its way through the whole sweep.
+func (e *Engine) MinHeapMB(d *workload.Descriptor, p MinHeapParams) (float64, error) {
+	t, err := e.SubmitMinHeap(d, p)
+	if err != nil {
 		return 0, err
 	}
-
-	e.mu.Lock()
-	if mb, ok := e.minMemo[k]; ok {
-		e.mu.Unlock()
-		return mb, nil
-	}
-	if c, ok := e.minflight[k]; ok {
-		e.mu.Unlock()
-		<-c.done
-		return c.mb, c.err
-	}
-	c := &minCall{done: make(chan struct{})}
-	e.minflight[k] = c
-	e.mu.Unlock()
-
-	mb, err := e.minHeap(k, d, p)
-
-	e.mu.Lock()
-	delete(e.minflight, k)
-	if err == nil {
-		e.minMemo[k] = mb
-	}
-	e.mu.Unlock()
-	c.mb, c.err = mb, err
-	close(c.done)
-	return mb, err
+	return t.Wait()
 }
 
 func minHeapEvent(kind EventKind, d *workload.Descriptor, k Key, mb float64) Event {

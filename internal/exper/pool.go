@@ -1,29 +1,50 @@
 package exper
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
-// pool is the engine's work-stealing worker pool: each worker owns a deque,
-// submissions are distributed round-robin, a worker pops its own deque LIFO
-// (freshly submitted jobs have warm sweeps behind them) and steals FIFO
-// from the most loaded peer when its own deque drains. One pool is shared
-// across an entire experiment plan, so parallelism is bounded per-plan
-// rather than per-sweep: a sweep with one straggling cell no longer idles
-// the cores that its finished cells were using.
+// pool is the engine's work-stealing worker pool, sharded for whole-suite
+// submission rates: each worker owns a deque behind its own mutex, so a
+// batch of thousands of jobs submitted up front spreads across deques
+// without funnelling every push and pop through one pool-wide lock (the
+// pre-refactor design serialized `submit` and `take` on a single Mutex —
+// measurable once every sweep cell is enqueued at once instead of trickling
+// in from per-cell goroutines). Submissions are distributed round-robin by
+// an atomic cursor; a worker pops its own deque LIFO (freshly submitted
+// jobs have warm sweeps behind them) and steals FIFO from the most loaded
+// peer when its own deque drains. Idle workers park on a single condition
+// variable that is only touched when a worker actually runs dry, keeping
+// the steady-state path lock-light.
 type pool struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	deques [][]func()
-	next   int // round-robin submission cursor
+	deques []dequeShard
+	cursor atomic.Uint64 // round-robin submission cursor
+	idle   atomic.Int64  // workers inside the parking protocol
+
+	parkMu sync.Mutex // guards closed and the parking condvar
+	parked *sync.Cond
 	closed bool
-	wg     sync.WaitGroup
+
+	wg sync.WaitGroup
+}
+
+// dequeShard is one worker's deque behind its own lock. The pad keeps
+// neighbouring shards off one cache line, so workers pushing and popping
+// concurrently do not false-share.
+type dequeShard struct {
+	mu     sync.Mutex
+	tasks  []func()
+	closed bool
+	_      [32]byte
 }
 
 func newPool(workers int) *pool {
 	if workers < 1 {
 		workers = 1
 	}
-	p := &pool{deques: make([][]func(), workers)}
-	p.cond = sync.NewCond(&p.mu)
+	p := &pool{deques: make([]dequeShard, workers)}
+	p.parked = sync.NewCond(&p.parkMu)
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go p.worker(i)
@@ -31,46 +52,105 @@ func newPool(workers int) *pool {
 	return p
 }
 
-// submit enqueues one task; it never blocks.
-func (p *pool) submit(task func()) {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		panic("exper: submit on closed pool")
+// submit enqueues one task without blocking and reports whether the pool
+// accepted it. It returns false — instead of panicking, which is what the
+// pre-refactor pool did and what a Close racing a straggling sweep would
+// hit — once the pool has been closed; the caller then runs the task
+// inline. The shard's closed flag is set under the same lock that guards
+// its deque, so a task accepted here is always still visible to the
+// draining workers.
+func (p *pool) submit(task func()) bool {
+	w := int(p.cursor.Add(1)-1) % len(p.deques)
+	dq := &p.deques[w]
+	dq.mu.Lock()
+	if dq.closed {
+		dq.mu.Unlock()
+		return false
 	}
-	w := p.next % len(p.deques)
-	p.next++
-	p.deques[w] = append(p.deques[w], task)
-	p.mu.Unlock()
-	p.cond.Signal()
+	dq.tasks = append(dq.tasks, task)
+	dq.mu.Unlock()
+
+	// Wake a parked worker only when one might exist: a worker increments
+	// idle under parkMu *before* its final empty re-scan, so if idle reads 0
+	// here, any worker that parks later re-scans after this push and finds
+	// the task itself. The busy steady state therefore never touches the
+	// pool-wide parking lock.
+	if p.idle.Load() > 0 {
+		p.parkMu.Lock()
+		p.parked.Signal()
+		p.parkMu.Unlock()
+	}
+	return true
 }
 
-// take pops from the worker's own deque back, or steals from the front of
-// the longest peer deque. Returns nil when the pool is closed and drained.
+// tryTake pops the worker's own deque from the back, or steals from the
+// front of the longest peer deque. It locks one shard at a time and never
+// blocks; nil means every deque was empty at the moment it was scanned.
+func (p *pool) tryTake(self int) func() {
+	own := &p.deques[self]
+	own.mu.Lock()
+	if n := len(own.tasks); n > 0 {
+		t := own.tasks[n-1]
+		own.tasks[n-1] = nil
+		own.tasks = own.tasks[:n-1]
+		own.mu.Unlock()
+		return t
+	}
+	own.mu.Unlock()
+
+	// Steal scan: find the longest peer deque, then re-lock just that one.
+	// The length read is racy by design — a stale pick only costs an extra
+	// scan, never correctness.
+	victim, best := -1, 0
+	for i := range p.deques {
+		if i == self {
+			continue
+		}
+		dq := &p.deques[i]
+		dq.mu.Lock()
+		if n := len(dq.tasks); n > best {
+			victim, best = i, n
+		}
+		dq.mu.Unlock()
+	}
+	if victim < 0 {
+		return nil
+	}
+	dq := &p.deques[victim]
+	dq.mu.Lock()
+	if len(dq.tasks) == 0 { // lost the race to another thief
+		dq.mu.Unlock()
+		return nil
+	}
+	t := dq.tasks[0]
+	copy(dq.tasks, dq.tasks[1:])
+	dq.tasks[len(dq.tasks)-1] = nil
+	dq.tasks = dq.tasks[:len(dq.tasks)-1]
+	dq.mu.Unlock()
+	return t
+}
+
+// take returns the next task, parking the worker when every deque is empty.
+// Returns nil when the pool is closed and drained. The double-check under
+// parkMu pairs with submit signalling under parkMu: a task pushed before
+// the signal is found by the re-scan, a task pushed after wakes the waiter,
+// so no submission is ever lost to a parked worker.
 func (p *pool) take(self int) func() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	if t := p.tryTake(self); t != nil {
+		return t
+	}
+	p.parkMu.Lock()
+	defer p.parkMu.Unlock()
+	p.idle.Add(1)
+	defer p.idle.Add(-1)
 	for {
-		if own := p.deques[self]; len(own) > 0 {
-			t := own[len(own)-1]
-			p.deques[self] = own[:len(own)-1]
-			return t
-		}
-		victim, best := -1, 0
-		for i, dq := range p.deques {
-			if i != self && len(dq) > best {
-				victim, best = i, len(dq)
-			}
-		}
-		if victim >= 0 {
-			t := p.deques[victim][0]
-			p.deques[victim] = p.deques[victim][1:]
+		if t := p.tryTake(self); t != nil {
 			return t
 		}
 		if p.closed {
 			return nil
 		}
-		p.cond.Wait()
+		p.parked.Wait()
 	}
 }
 
@@ -85,12 +165,19 @@ func (p *pool) worker(self int) {
 	}
 }
 
-// close stops the workers once the deques drain. Tasks already submitted
-// still run; submitting afterwards panics.
+// close stops the workers once the deques drain. Tasks already accepted
+// still run; submissions that lose the race to close are refused (submit
+// returns false) and execute inline at the caller.
 func (p *pool) close() {
-	p.mu.Lock()
+	for i := range p.deques {
+		dq := &p.deques[i]
+		dq.mu.Lock()
+		dq.closed = true
+		dq.mu.Unlock()
+	}
+	p.parkMu.Lock()
 	p.closed = true
-	p.mu.Unlock()
-	p.cond.Broadcast()
+	p.parkMu.Unlock()
+	p.parked.Broadcast()
 	p.wg.Wait()
 }

@@ -1,0 +1,130 @@
+package exper
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"chopin/internal/workload"
+)
+
+// TestColdCacheSingleFlight pins the single-flight guarantee at its
+// narrowest: many concurrent submissions of one key against a cold cache
+// and no memoization must funnel into exactly one simulator execution. The
+// runFn seam holds the first execution open until every submission has
+// registered, so the test deterministically covers the window where a
+// second submission could slip past the in-flight map and re-execute.
+func TestColdCacheSingleFlight(t *testing.T) {
+	d := testBench(t)
+	cache, err := OpenCache(t.TempDir(), ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var executions atomic.Int64
+	release := make(chan struct{})
+	e := New(Options{
+		Workers: 4,
+		Cache:   cache,
+		runFn: func(d *workload.Descriptor, cfg workload.RunConfig) (*workload.Result, error) {
+			executions.Add(1)
+			<-release
+			return workload.Run(d, cfg)
+		},
+	})
+	defer e.Close()
+
+	const n = 16
+	tickets := make([]*Ticket, n)
+	for i := range tickets {
+		tk, err := e.Submit(d, smallCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets[i] = tk
+	}
+	close(release)
+
+	var wg sync.WaitGroup
+	for _, tk := range tickets {
+		wg.Add(1)
+		go func(tk *Ticket) {
+			defer wg.Done()
+			if _, err := tk.Wait(); err != nil {
+				t.Errorf("deduplicated submission failed: %v", err)
+			}
+		}(tk)
+	}
+	wg.Wait()
+
+	if got := executions.Load(); got != 1 {
+		t.Fatalf("cold-cache single flight executed %d times, want 1", got)
+	}
+	s := e.Stats()
+	if s.Executed != 1 || s.Deduped != n-1 {
+		t.Fatalf("stats = %+v, want Executed=1 Deduped=%d", s, n-1)
+	}
+
+	// After the flight resolves, the same key is served by the cache (the
+	// write-behind pending map or disk), never by a third execution.
+	if _, err := e.Run(d, smallCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if got := executions.Load(); got != 1 {
+		t.Fatalf("warm re-run executed again (%d executions)", got)
+	}
+	if s := e.Stats(); s.CacheHits != 1 {
+		t.Fatalf("warm re-run did not hit the cache: %+v", s)
+	}
+}
+
+// TestConcurrentRunsColdCacheExecuteOnce is the unstaged form of the
+// single-flight regression: real goroutines racing Run for one key, cold
+// cache, no memo. However the submissions interleave, the execution count
+// must be exactly one — a second execution means the in-flight window
+// leaked between the cache check and the job registration.
+func TestConcurrentRunsColdCacheExecuteOnce(t *testing.T) {
+	d := testBench(t)
+	cache, err := OpenCache(t.TempDir(), ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var executions atomic.Int64
+	start := make(chan struct{})
+	e := New(Options{
+		Workers: 8,
+		Cache:   cache,
+		runFn: func(d *workload.Descriptor, cfg workload.RunConfig) (*workload.Result, error) {
+			executions.Add(1)
+			return workload.Run(d, cfg)
+		},
+	})
+	defer e.Close()
+
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if _, err := e.Run(d, smallCfg()); err != nil {
+				t.Errorf("concurrent Run failed: %v", err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if got := executions.Load(); got != 1 {
+		t.Fatalf("%d concurrent cold Runs executed %d times, want 1", n, got)
+	}
+	s := e.Stats()
+	if s.Executed != 1 {
+		t.Fatalf("stats disagree with the seam: %+v", s)
+	}
+	if s.Deduped+s.CacheHits != n-1 {
+		t.Fatalf("the other %d submissions must dedup or cache-hit: %+v", n-1, s)
+	}
+}

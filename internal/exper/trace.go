@@ -4,46 +4,49 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sync"
 
 	"chopin/internal/obs"
 	"chopin/internal/obs/span"
 	"chopin/internal/obs/traceview"
 )
 
-// traceBuffer captures one executing job's telemetry in memory so the
-// engine can fold it into a per-job Chrome trace file (Options.TraceDir).
-// It is a Recorder so it slots into the same Multi fan-out as the shared
-// telemetry sink; the mutex keeps it safe under the Recorder contract even
-// though a single simulation records sequentially.
-type traceBuffer struct {
-	mu     sync.Mutex
-	events []obs.Event
+// jobRecorder is the worker-owned telemetry buffer for one executing job.
+// It captures the run's whole event stream in memory, stamping job identity
+// (key, benchmark, collector) onto events that do not already carry it —
+// replicating obs.WithRun — and is flushed to the shared sink in a single
+// batch at the job boundary (obs.RecordAll), so concurrent invocations
+// contend the sink once per job instead of once per event.
+//
+// A simulator run records from exactly one goroutine, and the buffer is
+// owned by the executing worker for exactly one job (pooled in
+// Engine.bufs between jobs), so it needs no lock — unlike the shared sinks
+// behind the Recorder contract.
+type jobRecorder struct {
+	run       string
+	benchmark string
+	collector string
+	events    []obs.Event
 }
 
-func (b *traceBuffer) Enabled() bool { return true }
-
-func (b *traceBuffer) Record(e obs.Event) {
-	b.mu.Lock()
-	b.events = append(b.events, e)
-	b.mu.Unlock()
+// reset prepares a pooled buffer for a new job, retaining its backing array.
+func (b *jobRecorder) reset(run, benchmark, collector string) {
+	b.run, b.benchmark, b.collector = run, benchmark, collector
+	b.events = b.events[:0]
 }
 
-// orNil converts a possibly-nil *traceBuffer into a Recorder operand for
-// obs.Multi, which skips nils.
-func (b *traceBuffer) orNil() obs.Recorder {
-	if b == nil {
-		return nil
+func (b *jobRecorder) Enabled() bool { return true }
+
+func (b *jobRecorder) Record(e obs.Event) {
+	if e.Run == "" {
+		e.Run = b.run
 	}
-	return b
-}
-
-func (b *traceBuffer) take() []obs.Event {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	evs := b.events
-	b.events = nil
-	return evs
+	if e.Benchmark == "" {
+		e.Benchmark = b.benchmark
+	}
+	if e.Collector == "" {
+		e.Collector = b.collector
+	}
+	b.events = append(b.events, e)
 }
 
 // writeJobTrace folds a completed job's buffered events into spans and

@@ -8,12 +8,16 @@
 // minimum (H2), several invocations feed 95% confidence intervals (P1), and
 // overheads are reported via LBO on both wall and task clock (O1/O2).
 //
-// Execution is delegated to the experiment engine (internal/exper): every
-// invocation becomes an engine job on one shared work-stealing pool, so
-// parallelism is bounded per-plan rather than per-sweep, min-heap probes
-// deduplicate across experiments, and — when the engine carries a result
-// cache — sweeps become incremental and resumable. The harness itself is a
-// thin aggregation layer over engine results.
+// Execution is delegated to the experiment engine (internal/exper) as job
+// DAGs: each sweep's minimum-heap measurement is submitted as an anchor job
+// up front (SubmitLBOGrid, SubmitLatency), and the moment an anchor
+// resolves, every cell of its grid is submitted as one batch of
+// content-addressed jobs — so a whole-suite plan keeps the engine's
+// work-stealing pool saturated across host cores from the first probe to
+// the last cell, min-heap probes deduplicate across experiments, and — when
+// the engine carries a result cache — sweeps are incremental and resumable.
+// Results are collected and merged in fixed grid order, never scheduler
+// order, so merged output is byte-identical at any worker count.
 package harness
 
 import (
@@ -146,33 +150,50 @@ type invocationSet struct {
 	wholeCPU  []float64 // whole-run task clock
 }
 
-// runSet executes opt.Invocations runs of one configuration as concurrent
-// engine jobs. A configuration counts as completed only if every invocation
-// completes — matching the paper's all-or-nothing plotting rule.
-func runSet(eng *exper.Engine, d *workload.Descriptor, cfg workload.RunConfig, opt Options) *invocationSet {
-	set := &invocationSet{completed: true}
-	results := make([]*workload.Result, opt.Invocations)
-	errs := make([]error, opt.Invocations)
+// pendingSet is a submitted-but-uncollected invocation set: one engine
+// ticket per invocation, in seed order.
+type pendingSet struct {
+	tickets []*exper.Ticket
+	err     error // submission error; the set collects as incomplete
+}
 
-	var wg sync.WaitGroup
+// submitSet registers opt.Invocations runs of one configuration as engine
+// jobs and returns immediately with their tickets. Submitting every set of
+// a sweep before collecting any is what hands the engine the whole batch at
+// once.
+func submitSet(eng *exper.Engine, d *workload.Descriptor, cfg workload.RunConfig, opt Options) *pendingSet {
+	ps := &pendingSet{}
 	for i := 0; i < opt.Invocations; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			c := cfg
-			c.Seed = opt.Seed + uint64(i)*1_000_003 + 17
-			c.Recorder = opt.Recorder
-			results[i], errs[i] = eng.Run(d, c)
-		}(i)
+		c := cfg
+		c.Seed = opt.Seed + uint64(i)*1_000_003 + 17
+		c.Recorder = opt.Recorder
+		t, err := eng.Submit(d, c)
+		if err != nil {
+			ps.err = err
+			return ps
+		}
+		ps.tickets = append(ps.tickets, t)
 	}
-	wg.Wait()
+	return ps
+}
 
-	for i := 0; i < opt.Invocations; i++ {
-		if errs[i] != nil {
+// collectSet waits for a pending set's invocations in seed order and
+// aggregates them. A configuration counts as completed only if every
+// invocation completes — matching the paper's all-or-nothing plotting rule.
+// Collection order is fixed by submission, not by the scheduler, so the
+// aggregate (including float reduction order) is deterministic at any
+// worker count.
+func collectSet(ps *pendingSet) *invocationSet {
+	set := &invocationSet{completed: ps.err == nil}
+	if !set.completed {
+		return set
+	}
+	for _, t := range ps.tickets {
+		r, err := t.Wait()
+		if err != nil {
 			set.completed = false
 			return set
 		}
-		r := results[i]
 		last := r.Last()
 		set.wall = append(set.wall, last.WallNS)
 		set.cpu = append(set.cpu, last.CPUNS)
@@ -189,49 +210,89 @@ func runSet(eng *exper.Engine, d *workload.Descriptor, cfg workload.RunConfig, o
 	return set
 }
 
-// LBOGrid sweeps collectors and heap factors for one benchmark and returns
-// its lower-bound-overhead grid. The minimum heap is measured first with the
-// baseline configuration; incomplete (OOM) cells are recorded as such. All
-// cells run concurrently as engine jobs — the engine's pool, not the sweep,
-// bounds parallelism — and results are assembled in fixed grid order, so the
-// output is deterministic however execution interleaves.
-func LBOGrid(d *workload.Descriptor, opt Options) (*lbo.Grid, float64, error) {
-	opt = opt.withDefaults(d)
-	eng := opt.engine()
-	minMB, err := eng.MinHeapMB(d, opt.minHeapParams())
-	if err != nil {
-		return nil, 0, fmt.Errorf("harness: %s min heap: %w", d.Name, err)
-	}
+// gridCell is one (collector, heap factor) coordinate of a sweep, in the
+// fixed enumeration order every merge follows.
+type gridCell struct {
+	kind gc.Kind
+	f    float64
+}
 
-	type cell struct {
-		kind gc.Kind
-		f    float64
-	}
-	var cells []cell
-	for _, kind := range opt.Collectors {
-		for _, f := range opt.HeapFactors {
-			cells = append(cells, cell{kind, f})
+func gridCells(collectors []gc.Kind, factors []float64) []gridCell {
+	var cells []gridCell
+	for _, kind := range collectors {
+		for _, f := range factors {
+			cells = append(cells, gridCell{kind, f})
 		}
 	}
-	sets := make([]*invocationSet, len(cells))
-	var wg sync.WaitGroup
-	for i, c := range cells {
-		wg.Add(1)
-		go func(i int, c cell) {
-			defer wg.Done()
-			sets[i] = runSet(eng, d, workload.RunConfig{
-				HeapMB:     minMB * c.f,
-				Collector:  c.kind,
-				Iterations: opt.Iterations,
-				Events:     opt.Events,
-			}, opt)
-		}(i, c)
+	return cells
+}
+
+// PendingGrid is a submitted-but-uncollected LBO sweep: the min-heap anchor
+// job is in flight (or already cached), and the grid's cells are submitted
+// as one batch the moment it resolves. Wait blocks for the merged grid.
+type PendingGrid struct {
+	done  chan struct{}
+	grid  *lbo.Grid
+	minMB float64
+	err   error
+}
+
+// Wait blocks until the sweep's jobs complete and returns the merged grid
+// and the measured minimum heap.
+func (p *PendingGrid) Wait() (*lbo.Grid, float64, error) {
+	<-p.done
+	return p.grid, p.minMB, p.err
+}
+
+// SubmitLBOGrid registers one benchmark's whole LBO sweep as a job DAG and
+// returns immediately: the minimum-heap measurement is the anchor
+// (prerequisite) job, and every (collector, heap factor, invocation) cell
+// job is submitted in a single batch when the anchor resolves. Submitting
+// every benchmark's sweep up front is how a whole-suite run saturates the
+// engine's pool; results merge in fixed grid order regardless of execution
+// interleaving.
+func SubmitLBOGrid(d *workload.Descriptor, opt Options) *PendingGrid {
+	opt = opt.withDefaults(d)
+	eng := opt.engine()
+	p := &PendingGrid{done: make(chan struct{})}
+	anchor, err := eng.SubmitMinHeap(d, opt.minHeapParams())
+	if err != nil {
+		p.err = fmt.Errorf("harness: %s min heap: %w", d.Name, err)
+		close(p.done)
+		return p
 	}
-	wg.Wait()
+	// Orchestration runs off the engine pool: it only submits jobs and
+	// waits on tickets, so pool workers are never blocked on coordination.
+	go func() {
+		defer close(p.done)
+		minMB, err := anchor.Wait()
+		if err != nil {
+			p.err = fmt.Errorf("harness: %s min heap: %w", d.Name, err)
+			return
+		}
+		p.minMB = minMB
+		p.grid = collectGrid(eng, d, opt, minMB)
+	}()
+	return p
+}
+
+// collectGrid submits every cell of the benchmark's grid as one batch of
+// engine jobs, then collects and merges them in fixed grid order.
+func collectGrid(eng *exper.Engine, d *workload.Descriptor, opt Options, minMB float64) *lbo.Grid {
+	cells := gridCells(opt.Collectors, opt.HeapFactors)
+	pending := make([]*pendingSet, len(cells))
+	for i, c := range cells {
+		pending[i] = submitSet(eng, d, workload.RunConfig{
+			HeapMB:     minMB * c.f,
+			Collector:  c.kind,
+			Iterations: opt.Iterations,
+			Events:     opt.Events,
+		}, opt)
+	}
 
 	grid := &lbo.Grid{Benchmark: d.Name}
 	for i, c := range cells {
-		set := sets[i]
+		set := collectSet(pending[i])
 		m := lbo.Measurement{
 			Collector:  c.kind.String(),
 			HeapFactor: c.f,
@@ -250,33 +311,53 @@ func LBOGrid(d *workload.Descriptor, opt Options) (*lbo.Grid, float64, error) {
 		}
 		grid.Add(m)
 	}
-	return grid, minMB, nil
+	return grid
 }
 
-// SuiteLBO runs LBOGrid for every workload in ds (nil = whole suite) and
-// also returns the cross-suite geometric means of Figure 1. Benchmarks run
-// concurrently over the shared engine pool; grids come back in input order.
-func SuiteLBO(ds []*workload.Descriptor, opt Options) ([]*lbo.Grid, []lbo.GeomeanPoint, error) {
+// LBOGrid sweeps collectors and heap factors for one benchmark and returns
+// its lower-bound-overhead grid: SubmitLBOGrid plus Wait. The minimum heap
+// is measured first with the baseline configuration; incomplete (OOM) cells
+// are recorded as such.
+func LBOGrid(d *workload.Descriptor, opt Options) (*lbo.Grid, float64, error) {
+	return SubmitLBOGrid(d, opt).Wait()
+}
+
+// PendingSuite is a submitted-but-uncollected whole-suite LBO plan: one
+// PendingGrid per benchmark, all anchors already in flight.
+type PendingSuite struct {
+	ds      []*workload.Descriptor
+	opt     Options
+	pending []*PendingGrid
+}
+
+// SubmitSuiteLBO registers the whole suite's LBO plan (nil ds = every
+// workload) as one job DAG and returns immediately: every benchmark's
+// min-heap anchor is submitted now, and each benchmark's grid batch follows
+// the moment its anchor resolves — the engine's pool sees the full plan at
+// once and stays saturated until the last cell drains.
+func SubmitSuiteLBO(ds []*workload.Descriptor, opt Options) *PendingSuite {
 	if ds == nil {
 		ds = workload.All()
 	}
-	grids := make([]*lbo.Grid, len(ds))
-	errs := make([]error, len(ds))
-	var wg sync.WaitGroup
+	ps := &PendingSuite{ds: ds, opt: opt, pending: make([]*PendingGrid, len(ds))}
 	for i, d := range ds {
-		wg.Add(1)
-		go func(i int, d *workload.Descriptor) {
-			defer wg.Done()
-			grids[i], _, errs[i] = LBOGrid(d, opt)
-		}(i, d)
+		ps.pending[i] = SubmitLBOGrid(d, opt)
 	}
-	wg.Wait()
-	for _, err := range errs {
+	return ps
+}
+
+// Wait blocks until the plan completes and returns per-benchmark grids in
+// input order plus the cross-suite geometric means of Figure 1.
+func (ps *PendingSuite) Wait() ([]*lbo.Grid, []lbo.GeomeanPoint, error) {
+	grids := make([]*lbo.Grid, len(ps.pending))
+	for i, p := range ps.pending {
+		grid, _, err := p.Wait()
 		if err != nil {
 			return nil, nil, err
 		}
+		grids[i] = grid
 	}
-	o := opt.withDefaults(ds[0])
+	o := ps.opt.withDefaults(ps.ds[0])
 	names := make([]string, len(o.Collectors))
 	for i, k := range o.Collectors {
 		names[i] = k.String()
@@ -286,6 +367,13 @@ func SuiteLBO(ds []*workload.Descriptor, opt Options) ([]*lbo.Grid, []lbo.Geomea
 		return nil, nil, err
 	}
 	return grids, pts, nil
+}
+
+// SuiteLBO runs LBOGrid for every workload in ds (nil = whole suite) and
+// also returns the cross-suite geometric means of Figure 1: SubmitSuiteLBO
+// plus Wait.
+func SuiteLBO(ds []*workload.Descriptor, opt Options) ([]*lbo.Grid, []lbo.GeomeanPoint, error) {
+	return SubmitSuiteLBO(ds, opt).Wait()
 }
 
 // LatencyResult is one cell of a latency experiment: the three latency
@@ -308,50 +396,76 @@ type LatencyResult struct {
 	RunEnd   int64
 }
 
+// PendingLatency is a submitted-but-uncollected latency sweep, anchored on
+// its min-heap job like PendingGrid.
+type PendingLatency struct {
+	done chan struct{}
+	out  []LatencyResult
+	err  error
+}
+
+// Wait blocks until the sweep's jobs complete and returns its cells in
+// fixed grid order.
+func (p *PendingLatency) Wait() ([]LatencyResult, error) {
+	<-p.done
+	return p.out, p.err
+}
+
+// SubmitLatency registers the latency experiment of Figures 3 and 6 as a
+// job DAG and returns immediately: one invocation per (collector, heap
+// factor) with per-event timing, all submitted in a batch once the
+// min-heap anchor resolves.
+func SubmitLatency(d *workload.Descriptor, factors []float64, opt Options) *PendingLatency {
+	return submitLatency(d, factors, opt, false, 0)
+}
+
+// SubmitLatencyOpenLoop is SubmitLatency with the open-loop request
+// discipline (see LatencyOpenLoop).
+func SubmitLatencyOpenLoop(d *workload.Descriptor, factors []float64, headroom float64, opt Options) *PendingLatency {
+	return submitLatency(d, factors, opt, true, headroom)
+}
+
 // LatencyOpenLoop is Latency with the open-loop request discipline: real
 // scheduled arrivals at 1/headroom of the nominal rate, with queueing. The
 // Simple distribution then holds true arrival-to-completion latency; the
 // metered views remain computed for comparison against it (ablation A5).
 func LatencyOpenLoop(d *workload.Descriptor, factors []float64, headroom float64, opt Options) ([]LatencyResult, error) {
-	return latencyExperiment(d, factors, opt, true, headroom)
+	return SubmitLatencyOpenLoop(d, factors, headroom, opt).Wait()
 }
 
 // Latency runs the latency experiment of Figures 3 and 6: one invocation
 // per (collector, heap factor) with per-event timing, reported as simple
-// latency and metered latency at 100ms and full smoothing.
+// latency and metered latency at 100ms and full smoothing. SubmitLatency
+// plus Wait.
 func Latency(d *workload.Descriptor, factors []float64, opt Options) ([]LatencyResult, error) {
-	return latencyExperiment(d, factors, opt, false, 0)
+	return SubmitLatency(d, factors, opt).Wait()
 }
 
-func latencyExperiment(d *workload.Descriptor, factors []float64, opt Options,
-	openLoop bool, headroom float64) ([]LatencyResult, error) {
+func submitLatency(d *workload.Descriptor, factors []float64, opt Options,
+	openLoop bool, headroom float64) *PendingLatency {
 	opt = opt.withDefaults(d)
 	eng := opt.engine()
 	if factors == nil {
 		factors = []float64{2, 6}
 	}
-	minMB, err := eng.MinHeapMB(d, opt.minHeapParams())
+	p := &PendingLatency{done: make(chan struct{})}
+	anchor, err := eng.SubmitMinHeap(d, opt.minHeapParams())
 	if err != nil {
-		return nil, err
+		p.err = err
+		close(p.done)
+		return p
 	}
-
-	type cell struct {
-		kind gc.Kind
-		f    float64
-	}
-	var cells []cell
-	for _, kind := range opt.Collectors {
-		for _, f := range factors {
-			cells = append(cells, cell{kind, f})
+	go func() {
+		defer close(p.done)
+		minMB, err := anchor.Wait()
+		if err != nil {
+			p.err = err
+			return
 		}
-	}
-	out := make([]LatencyResult, len(cells))
-	var wg sync.WaitGroup
-	for i, c := range cells {
-		wg.Add(1)
-		go func(i int, c cell) {
-			defer wg.Done()
-			cfg := workload.RunConfig{
+		cells := gridCells(opt.Collectors, factors)
+		tickets := make([]*exper.Ticket, len(cells))
+		for i, c := range cells {
+			tickets[i], err = eng.Submit(d, workload.RunConfig{
 				HeapMB:           minMB * c.f,
 				Collector:        c.kind,
 				Iterations:       opt.Iterations,
@@ -361,12 +475,19 @@ func latencyExperiment(d *workload.Descriptor, factors []float64, opt Options,
 				OpenLoop:         openLoop,
 				OpenLoopHeadroom: headroom,
 				Recorder:         opt.Recorder,
+			})
+			if err != nil {
+				p.err = err
+				return
 			}
+		}
+		out := make([]LatencyResult, len(cells))
+		for i, c := range cells {
 			lr := LatencyResult{
 				Benchmark: d.Name, Collector: c.kind.String(),
 				HeapFactor: c.f, HeapMB: minMB * c.f,
 			}
-			res, err := eng.Run(d, cfg)
+			res, err := tickets[i].Wait()
 			if err == nil {
 				events := make([]latency.Event, len(res.Events))
 				for j, e := range res.Events {
@@ -383,10 +504,10 @@ func latencyExperiment(d *workload.Descriptor, factors []float64, opt Options,
 				lr.RunEnd = last.EndNS
 			}
 			out[i] = lr
-		}(i, c)
-	}
-	wg.Wait()
-	return out, nil
+		}
+		p.out = out
+	}()
+	return p
 }
 
 // HeapSample is one post-GC occupancy observation, relative to the start of

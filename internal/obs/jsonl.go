@@ -63,6 +63,18 @@ func (j *JSONL) record(e Event) {
 	j.seen++
 }
 
+// RecordBatch writes a slice of events under one lock acquisition — the
+// flush path for per-job buffers, which batch a whole invocation's
+// telemetry and hand it over at the job boundary instead of contending the
+// sink once per event.
+func (j *JSONL) RecordBatch(evs []Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, e := range evs {
+		j.record(e)
+	}
+}
+
 // Events returns how many events have been recorded (and not dropped).
 func (j *JSONL) Events() int64 {
 	j.mu.Lock()

@@ -273,3 +273,33 @@ func (m multi) Record(e Event) {
 		r.Record(e)
 	}
 }
+
+func (m multi) RecordBatch(evs []Event) {
+	for _, r := range m {
+		RecordAll(r, evs)
+	}
+}
+
+// BatchRecorder is implemented by sinks that can consume a whole batch of
+// events under one lock acquisition (JSONL does). Per-job buffers flush
+// through it at job boundaries, so concurrently executing invocations
+// contend the shared sink once per job instead of once per event.
+type BatchRecorder interface {
+	Recorder
+	RecordBatch([]Event)
+}
+
+// RecordAll delivers evs to r, using its batch path when it has one and
+// falling back to per-event Record otherwise.
+func RecordAll(r Recorder, evs []Event) {
+	if r == nil || !r.Enabled() || len(evs) == 0 {
+		return
+	}
+	if br, ok := r.(BatchRecorder); ok {
+		br.RecordBatch(evs)
+		return
+	}
+	for _, e := range evs {
+		r.Record(e)
+	}
+}
