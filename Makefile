@@ -35,7 +35,9 @@ bench:
 # times and compare the distributions against the committed BENCH_sim.json
 # baseline with cmd/benchdiff (Mann-Whitney + median threshold, on ns/op,
 # B/op and allocs/op). Fails on a statistically significant regression beyond
-# 10% — and on ANY allocation where the baseline records zero.
+# 10% — and on ANY allocation where the baseline records zero. The scaling
+# gate then re-reads the same captured output (no benchmarks re-run), so a
+# whole-suite parallel-efficiency collapse fails bench-gate too.
 .PHONY: bench-gate
 bench-gate:
 	( go test -run='^$$' -bench='BenchmarkEngine' -benchmem -benchtime=300ms \
@@ -44,6 +46,17 @@ bench-gate:
 	  go test -run='^$$' -bench='BenchmarkFullSuite' -benchtime=1x -count=5 . ) \
 		| tee bench-gate.txt
 	go run ./cmd/benchdiff -threshold 0.10 BENCH_sim.json bench-gate.txt
+	go run ./cmd/benchjson -out /dev/null -scaling-min auto < bench-gate.txt > /dev/null
+
+# Whole-suite scaling gate, standalone: run only BenchmarkFullSuite at
+# workers ∈ {1, 8, NumCPU} and fail if the derived parallel efficiency
+# (workers=1 ns ÷ workers=8 ns) falls below the host-scaled floor —
+# max(0.9, 0.5·min(8, NumCPU)): an 8-core host demands ≥4x, a single core
+# demands only not-regressing (it cannot speed up).
+.PHONY: bench-scaling
+bench-scaling:
+	go test -run='^$$' -bench='BenchmarkFullSuite' -benchtime=1x -count=5 . \
+		| go run ./cmd/benchjson -out /dev/null -scaling-min auto
 
 # CPU and heap profiles for the invocation hot path; inspect with
 # `go tool pprof cpu.pprof` / `go tool pprof -sample_index=alloc_objects

@@ -9,8 +9,8 @@
 package chopin
 
 import (
-	"fmt"
 	"math"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -415,14 +415,27 @@ func BenchmarkAblationGenerational(b *testing.B) {
 // workers=1 and workers=8 variants bound the scaling headroom: on a
 // multi-core host the 8-worker run should finish several times faster,
 // while merged results stay byte-identical (the harness golden pins that).
-// `make bench` records both, so `make bench-gate` catches regressions in
-// the saturated path and in the serial path independently.
+// The workers=NumCPU variant (literal name, so the recorded baseline is
+// comparable across hosts) measures the saturated point on whatever the
+// host offers. `make bench` records all three, benchjson derives the
+// parallel-efficiency ratio (workers=1 ns ÷ workers=8 ns), and `make
+// bench-scaling` gates on it — so scaling regressions fail the gate, not
+// just per-op times.
 func BenchmarkFullSuite(b *testing.B) {
 	bs := []*workload.Descriptor{
 		workload.Fop, workload.Lusearch, workload.Cassandra, workload.H2,
 	}
-	for _, workers := range []int{1, 8} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+	variants := []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+		{"workers=8", 8},
+		{"workers=NumCPU", runtime.NumCPU()},
+	}
+	for _, v := range variants {
+		workers := v.workers
+		b.Run(v.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				eng := NewEngine(EngineOptions{Workers: workers})
 				opt := harness.Options{

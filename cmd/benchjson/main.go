@@ -9,9 +9,18 @@
 // suffix (-8 etc.) is stripped so the names are stable across machines;
 // `make bench` uses it to seed the repo's perf trajectory in BENCH_sim.json.
 //
+// For every benchmark recorded at both workers=1 and workers=8 (the
+// full-suite scaling pair), a derived <name>/parallel-efficiency entry is
+// added: the median of per-sample workers=1 ns ÷ workers=8 ns ratios — the
+// suite's parallel speedup. -scaling-min gates on it: the run fails when
+// any derived efficiency falls below the threshold ("auto" scales the
+// expectation to the host: max(0.9, 0.5·min(8, NumCPU)), so an 8-core host
+// demands ≥4x while a single core only demands not-regressing).
+//
 // Usage:
 //
 //	go test -run='^$' -bench=. -benchmem ./internal/sim | benchjson -out BENCH_sim.json
+//	benchjson -out /dev/null -scaling-min auto < bench-gate.txt
 package main
 
 import (
@@ -21,9 +30,15 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 )
+
+// effSuffix names derived scaling entries; benchdiff treats the metric as
+// higher-is-better by this suffix.
+const effSuffix = "/parallel-efficiency"
 
 // Measurement is one benchmark's captured result.
 type Measurement struct {
@@ -42,6 +57,7 @@ var benchLine = regexp.MustCompile(
 
 func main() {
 	out := flag.String("out", "BENCH_sim.json", "output JSON path")
+	scalingMin := flag.String("scaling-min", "", "fail unless every derived parallel-efficiency is at least this (a ratio, or 'auto' for a host-scaled threshold; empty disables)")
 	flag.Parse()
 
 	samples := map[string][]Measurement{}
@@ -78,6 +94,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
 		os.Exit(1)
 	}
+	for n, ss := range deriveEfficiency(samples) {
+		samples[n] = ss
+	}
 	results := make(map[string]Measurement, len(samples))
 	for n, ss := range samples {
 		results[n] = medianMeasurement(ss)
@@ -109,6 +128,84 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+
+	if *scalingMin != "" {
+		if err := gateScaling(results, *scalingMin); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// deriveEfficiency pairs each benchmark's workers=1 and workers=8 samples
+// positionally (-count runs emit them in the same order) into per-sample
+// speedup ratios, returned as synthetic <base>/parallel-efficiency sample
+// sets for the same median reduction as every real metric.
+func deriveEfficiency(samples map[string][]Measurement) map[string][]Measurement {
+	derived := map[string][]Measurement{}
+	for name, w1 := range samples {
+		base, ok := strings.CutSuffix(name, "/workers=1")
+		if !ok {
+			continue
+		}
+		w8 := samples[base+"/workers=8"]
+		for i := 0; i < len(w1) && i < len(w8); i++ {
+			if w8[i].NsPerOp <= 0 {
+				continue
+			}
+			derived[base+effSuffix] = append(derived[base+effSuffix],
+				Measurement{NsPerOp: w1[i].NsPerOp / w8[i].NsPerOp, Iterations: 1})
+		}
+	}
+	return derived
+}
+
+// gateScaling enforces the scaling floor on every derived efficiency entry.
+// "auto" scales the demand to the host: half of ideal speedup up to 8
+// workers (≥4x on an 8-core host), but never below 0.9 — a single-core host
+// cannot speed up, yet must not slow down either.
+func gateScaling(results map[string]Measurement, min string) error {
+	thr := 0.0
+	if min == "auto" {
+		ideal := runtime.NumCPU()
+		if ideal > 8 {
+			ideal = 8
+		}
+		thr = 0.5 * float64(ideal)
+		if thr < 0.9 {
+			thr = 0.9
+		}
+	} else {
+		v, err := strconv.ParseFloat(min, 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("bad -scaling-min %q (want a positive ratio or 'auto')", min)
+		}
+		thr = v
+	}
+	names := make([]string, 0, len(results))
+	for n := range results {
+		if strings.HasSuffix(n, effSuffix) {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("-scaling-min set but no workers=1/workers=8 pair on stdin")
+	}
+	sort.Strings(names)
+	var failed []string
+	for _, n := range names {
+		eff := results[n].NsPerOp
+		status := "ok"
+		if eff < thr {
+			status = "FAIL"
+			failed = append(failed, n)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %s = %.2fx (floor %.2fx) %s\n", n, eff, thr, status)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("parallel efficiency below %.2fx: %s", thr, strings.Join(failed, ", "))
+	}
+	return nil
 }
 
 // medianMeasurement reduces repeated samples of one benchmark (-count=N)

@@ -17,6 +17,7 @@
 //	obsreport -collector Shenandoah run.jsonl   # restrict to one collector
 //	obsreport -trace-out run.trace.json run.jsonl
 //	obsreport -timeline run.jsonl
+//	obsreport -sched run.jsonl                  # pool utilization table
 package main
 
 import (
@@ -68,6 +69,7 @@ func main() {
 		traceOut        = flag.String("trace-out", "", "write causal span timelines as Chrome trace-event JSON to this file")
 		timeline        = flag.Bool("timeline", false, "render a terminal span timeline per run")
 		timelineWidth   = flag.Int("timeline-width", 72, "timeline bar width in cells")
+		sched           = flag.Bool("sched", false, "render the engine's scheduler-utilization table (per-worker busy/steal/park, lane occupancy)")
 	)
 	flag.Parse()
 
@@ -90,6 +92,7 @@ func main() {
 	// for it when an export was requested.
 	wantSpans := *traceOut != "" || *timeline
 	var kept []obs.Event
+	var schedEvents []obs.Event
 
 	col := func(name string) *collectorAgg {
 		c := cols[name]
@@ -159,6 +162,10 @@ func main() {
 			jobs.minHeaps++
 		case obs.KindSample:
 			samples++
+		case obs.KindSchedWorker:
+			if *sched {
+				schedEvents = append(schedEvents, e)
+			}
 		}
 		return nil
 	})
@@ -228,6 +235,15 @@ func main() {
 		t.AddRowf("job wall total (s)", jobs.wallNS/1e9)
 		t.AddRowf("job sim-cpu total (s)", jobs.cpuNS/1e9)
 		t.Render(os.Stdout)
+	}
+
+	if *sched {
+		if len(schedEvents) == 0 {
+			fmt.Println("\nno scheduler telemetry in stream (engines emit it on Close)")
+		} else {
+			fmt.Println("\nScheduler utilization (one row per pool worker):")
+			obs.WriteSchedTable(os.Stdout, schedEvents)
+		}
 	}
 
 	if wantSpans {

@@ -146,6 +146,18 @@ func (c *Cache) Flush() error {
 	return err
 }
 
+// Close flushes every queued write and stops the write-behind goroutine,
+// returning the first latched write error. The cache must not be used after
+// Close. Engine.Close does NOT close its cache — the caller owns it and may
+// share it across engines — so callers that open caches dynamically (one per
+// sweep, one per test) should Close them, or the abandoned write-behind
+// goroutines accumulate for the life of the process.
+func (c *Cache) Close() error {
+	err := c.Flush()
+	close(c.writes)
+	return err
+}
+
 // getInvocation loads the cached record for the key, if present and valid.
 // Records still queued behind the write-behind path are served from memory,
 // so callers never observe the deferral. Unreadable or stale archives are

@@ -1,0 +1,281 @@
+package exper
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"chopin/internal/workload"
+)
+
+// ladderTuple is one seeded (workload, params) point in the differential
+// property test's space. The search base is always G1 (the paper's GMD
+// definition), so the collector axis is exercised through the probe
+// configuration the params induce rather than a collector field.
+type ladderTuple struct {
+	bench string
+	p     MinHeapParams
+}
+
+// ladderTuples enumerates 220 seeded tuples: every registered workload
+// crossed with ten parameter variations — seeds, event counts, invocation
+// counts and iteration counts all vary, so the tuples cover short and long
+// probe chains, single- and multi-seed validation, and every descriptor's
+// live-set scale.
+func ladderTuples() []ladderTuple {
+	var tuples []ladderTuple
+	for wi, name := range workload.Names() {
+		for i := 0; i < 10; i++ {
+			tuples = append(tuples, ladderTuple{
+				bench: name,
+				p: MinHeapParams{
+					Events:      20 + 10*(i%2),
+					Iterations:  1,
+					Invocations: 1 + i%2,
+					Seed:        uint64(1_000*wi + 37*i + 1),
+				},
+			})
+		}
+	}
+	return tuples
+}
+
+// TestLadderMatchesSequentialReference is the differential property test for
+// the parallel probe ladder: for 220 seeded (workload, params) tuples, the
+// ladder's MinHeapMB must equal ReferenceMinHeapMB — the retained sequential
+// searcher, kept as the oracle the way sim.NewReferenceEngine is for the
+// scheduler — bit for bit, including error outcomes. The engine forces a
+// ladder width above 1 so the speculation tree and validation look-ahead are
+// exercised even on single-core hosts where the auto width degenerates.
+func TestLadderMatchesSequentialReference(t *testing.T) {
+	tuples := ladderTuples()
+	if testing.Short() {
+		tuples = tuples[:len(tuples)/8]
+	}
+	e := New(Options{Workers: 4, LadderWidth: 4, Memoize: true})
+	defer e.Close()
+	for _, tc := range tuples {
+		d, err := workload.ByName(tc.bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotErr := e.MinHeapMB(d, tc.p)
+		want, wantErr := e.ReferenceMinHeapMB(d, tc.p)
+		if (gotErr == nil) != (wantErr == nil) ||
+			(gotErr != nil && gotErr.Error() != wantErr.Error()) {
+			t.Fatalf("%s %+v: ladder err %v, reference err %v", tc.bench, tc.p, gotErr, wantErr)
+		}
+		if got != want {
+			t.Fatalf("%s %+v: ladder %vMB, reference %vMB", tc.bench, tc.p, got, want)
+		}
+	}
+}
+
+// TestLadderWidthInvariance pins the width-independence claim directly:
+// the same tuple searched at widths 1, 2, 3 and 8 — from the degenerate
+// sequential ladder to a deeper speculation tree than any auto
+// configuration — must produce the identical bound. Each width gets a fresh
+// engine so nothing is served from a previous width's memo.
+func TestLadderWidthInvariance(t *testing.T) {
+	d, err := workload.ByName("fop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := MinHeapParams{Events: 60, Iterations: 1, Invocations: 2, Seed: 11}
+	var bounds []float64
+	for _, width := range []int{1, 2, 3, 8} {
+		e := New(Options{Workers: 4, LadderWidth: width})
+		mb, err := e.MinHeapMB(d, p)
+		e.Close()
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		bounds = append(bounds, mb)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] != bounds[0] {
+			t.Fatalf("bounds vary with ladder width: %v", bounds)
+		}
+	}
+}
+
+// TestCloseDuringLadderCancelsCleanly is the shutdown stress test: Close
+// racing an in-flight ladder must cancel the outstanding speculative probes
+// cleanly — the ticket resolves with ErrEngineClosed in its chain (never
+// hangs), no partial ladder is written to the persistent cache, and no
+// orchestration or probe goroutine leaks. The sleep schedule sweeps the
+// close point across the search's phases so some iterations interrupt the
+// exponential ladder, some the bisection tree, some the validation rungs,
+// and some lose the race entirely (which must then have cached a complete,
+// correct record).
+func TestCloseDuringLadderCancelsCleanly(t *testing.T) {
+	d, err := workload.ByName("fop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+
+	for i := 0; i < 20; i++ {
+		dir := t.TempDir()
+		cache, err := OpenCache(dir, ReadWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := New(Options{Workers: 2, LadderWidth: 4, Cache: cache})
+		p := MinHeapParams{Events: 120, Iterations: 1, Invocations: 2, Seed: uint64(i + 1)}
+		tk, err := e.SubmitMinHeap(d, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Duration(i) * 2 * time.Millisecond)
+		if err := e.Close(); err != nil {
+			t.Fatalf("iter %d: close: %v", i, err)
+		}
+
+		select {
+		case <-tk.Done():
+		case <-time.After(30 * time.Second):
+			t.Fatalf("iter %d: ticket never resolved after Close", i)
+		}
+		mb, waitErr := tk.Wait()
+		if err := cache.Close(); err != nil {
+			t.Fatalf("iter %d: cache close: %v", i, err)
+		}
+
+		// Reopen the cache: a cancelled search must have written nothing; a
+		// search that beat the close must have written the full record.
+		reopened, err := OpenCache(dir, ReadWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, err := minHeapKey(d, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, cached := reopened.getMinHeap(k)
+		if err := reopened.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if waitErr != nil {
+			if !errors.Is(waitErr, ErrEngineClosed) {
+				t.Fatalf("iter %d: ticket error %v, want ErrEngineClosed in chain", i, waitErr)
+			}
+			if cached {
+				t.Fatalf("iter %d: cancelled ladder persisted a partial record: %+v", i, rec)
+			}
+		} else if cached && rec.MinHeapMB != mb {
+			t.Fatalf("iter %d: cached %vMB, ticket resolved %vMB", i, rec.MinHeapMB, mb)
+		}
+	}
+
+	// Goroutine-leak check: allow the runtime a moment to retire workers.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline+2 {
+		t.Fatalf("goroutines leaked across shutdowns: %d now vs %d at start", n, baseline)
+	}
+}
+
+// TestSubmitSpeculativeRefusedAfterClose pins the cancellation contract:
+// a speculative submission against a closed engine resolves immediately
+// with ErrEngineClosed instead of running inline (ordinary Submit keeps
+// the inline fallback — see TestRunAfterCloseExecutesInline).
+func TestSubmitSpeculativeRefusedAfterClose(t *testing.T) {
+	e := New(Options{Workers: 1})
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d := testBench(t)
+	tk, err := e.SubmitSpeculative(d, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("speculative submit after Close resolved %v, want ErrEngineClosed", err)
+	}
+	if s := e.Stats(); s.Executed != 0 {
+		t.Fatalf("speculative submit after Close executed inline: %+v", s)
+	}
+}
+
+// TestSubmitSpeculativeRetainsOnce pins the discard semantics the harness's
+// grid speculation relies on: with memoization off, a speculative result is
+// retained for exactly one later consumer — the real grid submission — and
+// then dropped, so discarded speculation is bounded memory, not a leak.
+func TestSubmitSpeculativeRetainsOnce(t *testing.T) {
+	e := New(Options{Workers: 2})
+	defer e.Close()
+	d := testBench(t)
+
+	tk, err := e.SubmitSpeculative(d, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(d, smallCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Stats(); s.Executed != 1 || s.MemoHits != 1 {
+		t.Fatalf("stats after speculate+run = %+v, want the run served from the retained result", s)
+	}
+	// The retained entry was consumed: a further run executes again.
+	if _, err := e.Run(d, smallCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if s := e.Stats(); s.Executed != 2 {
+		t.Fatalf("stats after second run = %+v, want re-execution (consume-once)", s)
+	}
+}
+
+// TestPoolAnchorLanePreemptsGrid pins the priority inversion the ladder
+// depends on: with both lanes populated, a worker drains its anchor lane
+// before touching grid work, so min-heap probes are never stuck behind a
+// backlog of speculative grid cells.
+func TestPoolAnchorLanePreemptsGrid(t *testing.T) {
+	p := newPool(1)
+	defer p.close()
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+
+	p.submit(func() {
+		close(started)
+		<-release
+	}, laneGrid)
+	<-started // the single worker is now occupied; later submits queue up
+
+	for i := 0; i < 3; i++ {
+		i := i
+		wg.Add(1)
+		p.submit(func() {
+			mu.Lock()
+			order = append(order, fmt.Sprintf("grid%d", i))
+			mu.Unlock()
+			wg.Done()
+		}, laneGrid)
+	}
+	wg.Add(1)
+	p.submit(func() {
+		mu.Lock()
+		order = append(order, "anchor")
+		mu.Unlock()
+		wg.Done()
+	}, laneAnchor)
+
+	close(release)
+	wg.Wait()
+
+	if len(order) != 4 || order[0] != "anchor" {
+		t.Fatalf("execution order %v, want the anchor task first", order)
+	}
+}

@@ -3,6 +3,25 @@ package exper
 import (
 	"sync"
 	"sync/atomic"
+	"time"
+)
+
+// lane classifies a task's scheduling priority. The pool is critical-path
+// aware: a whole-suite plan's min-heap probes and validation batches gate
+// every grid cell behind them, so they must never queue behind grid
+// backlog — each deque holds two lanes and workers drain anchor work first,
+// both from their own deque and when stealing.
+type lane int
+
+const (
+	// laneAnchor is the critical path: min-heap ladder probes and
+	// validation invocations, whose latency bounds the whole plan.
+	laneAnchor lane = iota
+	// laneGrid is bulk backlog: sweep and latency cells that only gate
+	// their own collection.
+	laneGrid
+
+	numLanes
 )
 
 // pool is the engine's work-stealing worker pool, sharded for whole-suite
@@ -14,11 +33,13 @@ import (
 // in from per-cell goroutines). Submissions are distributed round-robin by
 // an atomic cursor; a worker pops its own deque LIFO (freshly submitted
 // jobs have warm sweeps behind them) and steals FIFO from the most loaded
-// peer when its own deque drains. Idle workers park on a single condition
-// variable that is only touched when a worker actually runs dry, keeping
-// the steady-state path lock-light.
+// peer when its own deque drains — anchor-lane work always before grid
+// backlog. Idle workers park on a single condition variable that is only
+// touched when a worker actually runs dry, keeping the steady-state path
+// lock-light.
 type pool struct {
 	deques []dequeShard
+	stats  []workerStat
 	cursor atomic.Uint64 // round-robin submission cursor
 	idle   atomic.Int64  // workers inside the parking protocol
 
@@ -29,21 +50,52 @@ type pool struct {
 	wg sync.WaitGroup
 }
 
-// dequeShard is one worker's deque behind its own lock. The pad keeps
-// neighbouring shards off one cache line, so workers pushing and popping
-// concurrently do not false-share.
+// dequeShard is one worker's deque behind its own lock, one slice per lane.
+// The pad keeps neighbouring shards off one cache line, so workers pushing
+// and popping concurrently do not false-share. depthMax is the shard's
+// queue-depth high-water mark across both lanes.
 type dequeShard struct {
-	mu     sync.Mutex
-	tasks  []func()
-	closed bool
-	_      [32]byte
+	mu       sync.Mutex
+	lanes    [numLanes][]func()
+	depthMax int
+	closed   bool
+	_        [32]byte
+}
+
+// workerStat is one worker's lifetime scheduling accounting, written by the
+// owning worker and read by stats snapshots. Task-grained updates (jobs are
+// milliseconds) keep the atomics off any hot path.
+type workerStat struct {
+	busyNS  atomic.Int64 // executing tasks
+	stealNS atomic.Int64 // scanning deques between tasks (awake, not running)
+	parkNS  atomic.Int64 // blocked on the parking condvar
+	tasks   [numLanes]atomic.Int64
+	steals  atomic.Int64 // tasks taken from a peer's deque
+}
+
+// WorkerStat is a snapshot of one pool worker's scheduling accounting,
+// exposed for the engine's scheduler telemetry.
+type WorkerStat struct {
+	Worker      int
+	BusyNS      int64
+	StealNS     int64
+	ParkNS      int64
+	AnchorTasks int64
+	GridTasks   int64
+	Steals      int64
+	// QueueMax is the high-water depth of the worker's own deque (both
+	// lanes combined).
+	QueueMax int
 }
 
 func newPool(workers int) *pool {
 	if workers < 1 {
 		workers = 1
 	}
-	p := &pool{deques: make([]dequeShard, workers)}
+	p := &pool{
+		deques: make([]dequeShard, workers),
+		stats:  make([]workerStat, workers),
+	}
 	p.parked = sync.NewCond(&p.parkMu)
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -52,14 +104,14 @@ func newPool(workers int) *pool {
 	return p
 }
 
-// submit enqueues one task without blocking and reports whether the pool
-// accepted it. It returns false — instead of panicking, which is what the
-// pre-refactor pool did and what a Close racing a straggling sweep would
-// hit — once the pool has been closed; the caller then runs the task
-// inline. The shard's closed flag is set under the same lock that guards
-// its deque, so a task accepted here is always still visible to the
-// draining workers.
-func (p *pool) submit(task func()) bool {
+// submit enqueues one task on ln without blocking and reports whether the
+// pool accepted it. It returns false — instead of panicking, which is what
+// the pre-refactor pool did and what a Close racing a straggling sweep
+// would hit — once the pool has been closed; the caller then runs the task
+// inline (or cancels it, for speculative probes). The shard's closed flag
+// is set under the same lock that guards its deque, so a task accepted here
+// is always still visible to the draining workers.
+func (p *pool) submit(task func(), ln lane) bool {
 	w := int(p.cursor.Add(1)-1) % len(p.deques)
 	dq := &p.deques[w]
 	dq.mu.Lock()
@@ -67,7 +119,10 @@ func (p *pool) submit(task func()) bool {
 		dq.mu.Unlock()
 		return false
 	}
-	dq.tasks = append(dq.tasks, task)
+	dq.lanes[ln] = append(dq.lanes[ln], task)
+	if d := len(dq.lanes[laneAnchor]) + len(dq.lanes[laneGrid]); d > dq.depthMax {
+		dq.depthMax = d
+	}
 	dq.mu.Unlock()
 
 	// Wake a parked worker only when one might exist: a worker increments
@@ -83,91 +138,158 @@ func (p *pool) submit(task func()) bool {
 	return true
 }
 
-// tryTake pops the worker's own deque from the back, or steals from the
-// front of the longest peer deque. It locks one shard at a time and never
+// popOwn pops the back of the shard's highest-priority non-empty lane.
+func (dq *dequeShard) popOwn() (func(), lane, bool) {
+	for ln := laneAnchor; ln < numLanes; ln++ {
+		if n := len(dq.lanes[ln]); n > 0 {
+			t := dq.lanes[ln][n-1]
+			dq.lanes[ln][n-1] = nil
+			dq.lanes[ln] = dq.lanes[ln][:n-1]
+			return t, ln, true
+		}
+	}
+	return nil, 0, false
+}
+
+// stealFront pops the front of the shard's ln lane.
+func (dq *dequeShard) stealFront(ln lane) (func(), bool) {
+	q := dq.lanes[ln]
+	if len(q) == 0 {
+		return nil, false
+	}
+	t := q[0]
+	copy(q, q[1:])
+	q[len(q)-1] = nil
+	dq.lanes[ln] = q[:len(q)-1]
+	return t, true
+}
+
+// tryTake pops the worker's own deque from the back (anchor lane first), or
+// steals from the front of the longest peer lane — scanning every peer's
+// anchor lane before falling back to grid backlog, so critical-path work
+// preempts bulk cells pool-wide. It locks one shard at a time and never
 // blocks; nil means every deque was empty at the moment it was scanned.
-func (p *pool) tryTake(self int) func() {
+func (p *pool) tryTake(self int) (func(), lane) {
 	own := &p.deques[self]
 	own.mu.Lock()
-	if n := len(own.tasks); n > 0 {
-		t := own.tasks[n-1]
-		own.tasks[n-1] = nil
-		own.tasks = own.tasks[:n-1]
+	if t, ln, ok := own.popOwn(); ok {
 		own.mu.Unlock()
-		return t
+		return t, ln
 	}
 	own.mu.Unlock()
 
-	// Steal scan: find the longest peer deque, then re-lock just that one.
-	// The length read is racy by design — a stale pick only costs an extra
-	// scan, never correctness.
-	victim, best := -1, 0
-	for i := range p.deques {
-		if i == self {
+	// Steal scan: find the longest peer lane — anchor lanes first — then
+	// re-lock just that shard. The length read is racy by design — a stale
+	// pick only costs an extra scan, never correctness.
+	for ln := laneAnchor; ln < numLanes; ln++ {
+		victim, best := -1, 0
+		for i := range p.deques {
+			if i == self {
+				continue
+			}
+			dq := &p.deques[i]
+			dq.mu.Lock()
+			if n := len(dq.lanes[ln]); n > best {
+				victim, best = i, n
+			}
+			dq.mu.Unlock()
+		}
+		if victim < 0 {
 			continue
 		}
-		dq := &p.deques[i]
+		dq := &p.deques[victim]
 		dq.mu.Lock()
-		if n := len(dq.tasks); n > best {
-			victim, best = i, n
+		t, ok := dq.stealFront(ln)
+		dq.mu.Unlock()
+		if !ok { // lost the race to another thief
+			continue
 		}
-		dq.mu.Unlock()
+		p.stats[self].steals.Add(1)
+		return t, ln
 	}
-	if victim < 0 {
-		return nil
-	}
-	dq := &p.deques[victim]
-	dq.mu.Lock()
-	if len(dq.tasks) == 0 { // lost the race to another thief
-		dq.mu.Unlock()
-		return nil
-	}
-	t := dq.tasks[0]
-	copy(dq.tasks, dq.tasks[1:])
-	dq.tasks[len(dq.tasks)-1] = nil
-	dq.tasks = dq.tasks[:len(dq.tasks)-1]
-	dq.mu.Unlock()
-	return t
+	return nil, 0
 }
 
-// take returns the next task, parking the worker when every deque is empty.
-// Returns nil when the pool is closed and drained. The double-check under
-// parkMu pairs with submit signalling under parkMu: a task pushed before
-// the signal is found by the re-scan, a task pushed after wakes the waiter,
-// so no submission is ever lost to a parked worker.
-func (p *pool) take(self int) func() {
-	if t := p.tryTake(self); t != nil {
-		return t
+// take returns the next task and its lane, parking the worker when every
+// deque is empty. Returns nil when the pool is closed and drained. The
+// double-check under parkMu pairs with submit signalling under parkMu: a
+// task pushed before the signal is found by the re-scan, a task pushed
+// after wakes the waiter, so no submission is ever lost to a parked worker.
+func (p *pool) take(self int) (func(), lane) {
+	st := &p.stats[self]
+	start := time.Now()
+	var parked int64
+	// account splits the elapsed scan time into steal (awake) and park.
+	account := func() {
+		st.stealNS.Add(time.Since(start).Nanoseconds() - parked)
+		st.parkNS.Add(parked)
+	}
+	if t, ln := p.tryTake(self); t != nil {
+		account()
+		return t, ln
 	}
 	p.parkMu.Lock()
 	defer p.parkMu.Unlock()
 	p.idle.Add(1)
 	defer p.idle.Add(-1)
 	for {
-		if t := p.tryTake(self); t != nil {
-			return t
+		if t, ln := p.tryTake(self); t != nil {
+			account()
+			return t, ln
 		}
 		if p.closed {
-			return nil
+			account()
+			return nil, 0
 		}
+		ps := time.Now()
 		p.parked.Wait()
+		parked += time.Since(ps).Nanoseconds()
 	}
 }
 
 func (p *pool) worker(self int) {
 	defer p.wg.Done()
+	st := &p.stats[self]
 	for {
-		t := p.take(self)
+		t, ln := p.take(self)
 		if t == nil {
 			return
 		}
+		start := time.Now()
 		t()
+		st.busyNS.Add(time.Since(start).Nanoseconds())
+		st.tasks[ln].Add(1)
 	}
+}
+
+// workerStats snapshots every worker's scheduling accounting. Call after
+// close for quiescent totals; concurrent snapshots are safe but torn across
+// fields.
+func (p *pool) workerStats() []WorkerStat {
+	out := make([]WorkerStat, len(p.stats))
+	for i := range p.stats {
+		st := &p.stats[i]
+		p.deques[i].mu.Lock()
+		depth := p.deques[i].depthMax
+		p.deques[i].mu.Unlock()
+		out[i] = WorkerStat{
+			Worker:      i,
+			BusyNS:      st.busyNS.Load(),
+			StealNS:     st.stealNS.Load(),
+			ParkNS:      st.parkNS.Load(),
+			AnchorTasks: st.tasks[laneAnchor].Load(),
+			GridTasks:   st.tasks[laneGrid].Load(),
+			Steals:      st.steals.Load(),
+			QueueMax:    depth,
+		}
+	}
+	return out
 }
 
 // close stops the workers once the deques drain. Tasks already accepted
 // still run; submissions that lose the race to close are refused (submit
-// returns false) and execute inline at the caller.
+// returns false) and execute inline at the caller — or resolve as cancelled
+// when the submitter marked them speculative.
 func (p *pool) close() {
 	for i := range p.deques {
 		dq := &p.deques[i]

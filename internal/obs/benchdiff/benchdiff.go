@@ -125,10 +125,44 @@ func Parse(r io.Reader) (Samples, error) {
 			continue
 		}
 		br.UnreadByte()
+		var s Samples
 		if c == '{' {
-			return parseJSON(br)
+			s, err = parseJSON(br)
+		} else {
+			s, err = parseBenchText(br)
 		}
-		return parseBenchText(br)
+		if err != nil {
+			return nil, err
+		}
+		deriveEfficiency(s)
+		return s, nil
+	}
+}
+
+// effSuffix names derived parallel-efficiency entries (workers=1 ns ÷
+// workers=8 ns). The metric is higher-is-better, so compareMetric inverts
+// the verdict direction for names carrying it.
+const effSuffix = "/parallel-efficiency"
+
+// deriveEfficiency synthesizes <base>/parallel-efficiency sample series
+// from each benchmark's workers=1 and workers=8 ns samples, paired
+// positionally — mirroring cmd/benchjson, so a raw `go test -bench` gate
+// run compares cleanly against a JSON baseline that already carries the
+// derived entry. Names already present (JSON baselines) are left alone.
+func deriveEfficiency(s Samples) {
+	for name, sr := range s {
+		base, ok := strings.CutSuffix(name, "/workers=1")
+		if !ok || s[base+effSuffix] != nil {
+			continue
+		}
+		w1 := sr.Samples(NsPerOp)
+		w8 := s[base+"/workers=8"].Samples(NsPerOp)
+		for i := 0; i < len(w1) && i < len(w8); i++ {
+			if w8[i] <= 0 {
+				continue
+			}
+			s.series(base + effSuffix).Add(NsPerOp, w1[i]/w8[i])
+		}
 	}
 }
 
@@ -412,6 +446,15 @@ func compareMetric(name string, m Metric, o, n []float64, opt Options) Delta {
 			d.Verdict = Regression
 		case d.Pct < -opt.Threshold:
 			d.Verdict = Improvement
+		}
+		// Parallel efficiency is a speedup ratio: higher is better, so a
+		// significant drop is the regression.
+		if strings.HasSuffix(name, effSuffix) && d.Verdict != Unchanged {
+			if d.Verdict == Regression {
+				d.Verdict = Improvement
+			} else {
+				d.Verdict = Regression
+			}
 		}
 	}
 	return d

@@ -79,6 +79,12 @@ const (
 	// Close, so a decoded stream without one is crash-truncated rather than
 	// merely short. Value carries the number of events recorded before it.
 	KindRunEnd
+	// KindSchedWorker is one pool worker's lifetime scheduling summary,
+	// emitted by the experiment engine when it closes: the worker's
+	// busy/steal/park wall-time split, per-lane task counts, steal count
+	// and deque high-water mark, carried in the dedicated scheduler
+	// fields. Value is the worker index.
+	KindSchedWorker
 )
 
 var kindNames = [...]string{
@@ -96,6 +102,7 @@ var kindNames = [...]string{
 	KindMinHeap:      "minheap",
 	KindSample:       "sample",
 	KindRunEnd:       "run_end",
+	KindSchedWorker:  "sched-worker",
 }
 
 func (k Kind) String() string {
@@ -178,6 +185,18 @@ type Event struct {
 	MutFrac   float64 `json:"mut_frac,omitempty"`
 	GCFrac    float64 `json:"gc_frac,omitempty"`
 	StallFrac float64 `json:"stall_frac,omitempty"`
+	// Scheduler fields (KindSchedWorker). BusyNS/StealNS/ParkNS split one
+	// worker's wall time into executing tasks, scanning deques and blocked
+	// on the parking condvar; AnchorTasks/GridTasks count tasks executed
+	// per priority lane; Steals counts tasks taken from peers; QueueMax is
+	// the worker's deque high-water depth.
+	BusyNS      float64 `json:"busy_ns,omitempty"`
+	StealNS     float64 `json:"steal_ns,omitempty"`
+	ParkNS      float64 `json:"park_ns,omitempty"`
+	AnchorTasks float64 `json:"anchor_tasks,omitempty"`
+	GridTasks   float64 `json:"grid_tasks,omitempty"`
+	Steals      float64 `json:"steals,omitempty"`
+	QueueMax    float64 `json:"queue_max,omitempty"`
 	// Err is the failure message on job-finish of a failed job, or "oom".
 	Err string `json:"err,omitempty"`
 }
