@@ -11,6 +11,8 @@ tier1-race:
 	go build ./...
 	go vet ./...
 	go test -race ./...
+	go run ./cmd/fleet -bench micro-pauseprobe -replicas 1,2 -rates 1,2 \
+		-lb round-robin,gc-aware -events 300 > /dev/null
 
 .PHONY: test
 test:
@@ -28,7 +30,9 @@ bench:
 	( go test -run='^$$' -bench='BenchmarkEngine' -benchmem -benchtime=300ms \
 		-count=5 ./internal/sim && \
 	  go test -run='^$$' -bench='BenchmarkRunInvocation' -benchmem -count=5 . && \
-	  go test -run='^$$' -bench='BenchmarkFullSuite' -benchtime=1x -count=5 . ) \
+	  go test -run='^$$' -bench='BenchmarkFullSuite' -benchtime=1x -count=5 . && \
+	  go test -run='^$$' -bench='BenchmarkFleetSweep' -benchtime=1x -count=5 \
+		./internal/fleet ) \
 		| go run ./cmd/benchjson -out BENCH_sim.json
 
 # Statistical perf-regression gate: run the hot-path microbenchmarks five
@@ -43,7 +47,9 @@ bench-gate:
 	( go test -run='^$$' -bench='BenchmarkEngine' -benchmem -benchtime=300ms \
 		-count=5 ./internal/sim && \
 	  go test -run='^$$' -bench='BenchmarkRunInvocation' -benchmem -count=5 . && \
-	  go test -run='^$$' -bench='BenchmarkFullSuite' -benchtime=1x -count=5 . ) \
+	  go test -run='^$$' -bench='BenchmarkFullSuite' -benchtime=1x -count=5 . && \
+	  go test -run='^$$' -bench='BenchmarkFleetSweep' -benchtime=1x -count=5 \
+		./internal/fleet ) \
 		| tee bench-gate.txt
 	go run ./cmd/benchdiff -threshold 0.10 BENCH_sim.json bench-gate.txt
 	go run ./cmd/benchjson -out /dev/null -scaling-min auto < bench-gate.txt > /dev/null

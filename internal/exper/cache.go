@@ -193,6 +193,24 @@ func (c *Cache) putInvocation(k Key, rec *persist.InvocationRecord) error {
 	return err
 }
 
+// getGeneric loads a cached generic job payload, if present and valid.
+// Generic jobs are coarse (one per fleet sweep cell, not one per event), so
+// their records stay synchronous like min-heap records — no write-behind.
+func (c *Cache) getGeneric(k Key) (*persist.GenericRecord, bool) {
+	if c.mode == WriteOnly {
+		return nil, false
+	}
+	rec, err := persist.LoadGeneric(c.path(k))
+	if err != nil || rec.Key != string(k) {
+		return nil, false
+	}
+	return rec, true
+}
+
+func (c *Cache) putGeneric(k Key, rec *persist.GenericRecord) error {
+	return persist.SaveGeneric(c.path(k), rec)
+}
+
 func (c *Cache) getMinHeap(k Key) (*persist.MinHeapRecord, bool) {
 	if c.mode == WriteOnly {
 		return nil, false

@@ -132,6 +132,11 @@ type engineShard struct {
 	memo      map[Key]outcome
 	minflight map[Key]*MinHeapTicket
 	minMemo   map[Key]float64
+	// Generic-job state (SubmitGeneric): opaque-payload jobs share the same
+	// single-flight/memo discipline as invocations, in separate maps so key
+	// kinds can never alias.
+	geninflight map[Key]*genCall
+	genMemo     map[Key]genOutcome
 }
 
 // Engine executes jobs. One engine should be shared across everything a
@@ -270,6 +275,8 @@ func New(opt Options) *Engine {
 		sh.memo = map[Key]outcome{}
 		sh.minflight = map[Key]*MinHeapTicket{}
 		sh.minMemo = map[Key]float64{}
+		sh.geninflight = map[Key]*genCall{}
+		sh.genMemo = map[Key]genOutcome{}
 	}
 	e.bufs.New = func() any { return &jobRecorder{} }
 	return e

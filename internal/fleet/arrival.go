@@ -1,0 +1,182 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+
+	"chopin/internal/sim"
+)
+
+// Arrival processes.
+//
+// A fleet is an open system: requests arrive on a schedule the servers do
+// not control. The single-invocation open-loop runner only models the
+// simplest such schedule — a constant rate — but real serving traffic is
+// richer: memoryless Poisson streams, heavy-tailed bursts, diurnal cycles,
+// deliberate ramp tests. Each process here generates the absolute virtual
+// time of the i-th fleet arrival from a mean inter-arrival interval and (for
+// the stochastic ones) a dedicated RNG stream, so the arrival schedule is a
+// pure function of the fleet seed — independent of how replicas simulate.
+//
+// The constant process computes arrival i as startF + i*interval by
+// multiplication, never by accumulation: that is bit-for-bit the schedule
+// the open-loop runner arms (openLoopArrival), which is what makes the
+// single-replica fleet an exact oracle against workload.Run.
+
+// ArrivalKind names an arrival process.
+type ArrivalKind string
+
+const (
+	// ArrivalConstant spaces arrivals uniformly: arrival i at exactly
+	// i*interval. The degenerate (N=1) fleet under this process reproduces
+	// the open-loop runner byte for byte.
+	ArrivalConstant ArrivalKind = "constant"
+	// ArrivalPoisson draws i.i.d. exponential gaps (a memoryless M/G/k
+	// stream) with the configured mean.
+	ArrivalPoisson ArrivalKind = "poisson"
+	// ArrivalPareto draws heavy-tailed Pareto gaps with unit mean scaled to
+	// the configured mean — bursty traffic whose quiet stretches fund rare,
+	// long gaps (and whose bursts stack arrivals far above the mean rate).
+	ArrivalPareto ArrivalKind = "pareto"
+	// ArrivalDiurnal modulates a Poisson stream by a sinusoid of the virtual
+	// clock — trace playback of a day-night load cycle compressed to the
+	// configured period.
+	ArrivalDiurnal ArrivalKind = "diurnal"
+	// ArrivalRamp increases the rate linearly from the configured mean to
+	// RampTo times the mean across the run — the load ramp used to locate a
+	// fleet's critical rate empirically.
+	ArrivalRamp ArrivalKind = "ramp"
+)
+
+// ArrivalSpec configures an arrival process. The zero value is the constant
+// process.
+type ArrivalSpec struct {
+	Kind ArrivalKind `json:"kind,omitempty"`
+	// Alpha is the Pareto tail index (>1 so the mean exists); 0 means 1.5.
+	Alpha float64 `json:"alpha,omitempty"`
+	// Amplitude is the diurnal modulation depth in [0, 1); 0 means 0.5.
+	Amplitude float64 `json:"amplitude,omitempty"`
+	// PeriodS is the diurnal period in virtual seconds; 0 means the
+	// workload's nominal duration (one full cycle per run).
+	PeriodS float64 `json:"period_s,omitempty"`
+	// RampTo is the terminal rate multiplier of the ramp; 0 means 2.
+	RampTo float64 `json:"ramp_to,omitempty"`
+}
+
+// normalize fills a spec's defaults and validates its parameters.
+func (s ArrivalSpec) normalize(nominalDurNS float64) (ArrivalSpec, error) {
+	if s.Kind == "" {
+		s.Kind = ArrivalConstant
+	}
+	switch s.Kind {
+	case ArrivalConstant, ArrivalPoisson:
+	case ArrivalPareto:
+		if s.Alpha == 0 {
+			s.Alpha = 1.5
+		}
+		if s.Alpha <= 1 || math.IsNaN(s.Alpha) || math.IsInf(s.Alpha, 0) {
+			return s, fmt.Errorf("fleet: pareto alpha %v must be a finite value > 1", s.Alpha)
+		}
+	case ArrivalDiurnal:
+		if s.Amplitude == 0 {
+			s.Amplitude = 0.5
+		}
+		if s.Amplitude < 0 || s.Amplitude >= 1 || math.IsNaN(s.Amplitude) {
+			return s, fmt.Errorf("fleet: diurnal amplitude %v must be in [0, 1)", s.Amplitude)
+		}
+		if s.PeriodS == 0 {
+			s.PeriodS = nominalDurNS / 1e9
+		}
+		if s.PeriodS <= 0 || math.IsNaN(s.PeriodS) || math.IsInf(s.PeriodS, 0) {
+			return s, fmt.Errorf("fleet: diurnal period %vs must be a positive finite duration", s.PeriodS)
+		}
+	case ArrivalRamp:
+		if s.RampTo == 0 {
+			s.RampTo = 2
+		}
+		if s.RampTo <= 0 || math.IsNaN(s.RampTo) || math.IsInf(s.RampTo, 0) {
+			return s, fmt.Errorf("fleet: ramp target %v must be a positive finite factor", s.RampTo)
+		}
+	default:
+		return s, fmt.Errorf("fleet: unknown arrival kind %q", s.Kind)
+	}
+	return s, nil
+}
+
+// ParseArrival parses an arrival kind name (the -arrival flag).
+func ParseArrival(name string) (ArrivalKind, error) {
+	switch ArrivalKind(name) {
+	case ArrivalConstant, ArrivalPoisson, ArrivalPareto, ArrivalDiurnal, ArrivalRamp:
+		return ArrivalKind(name), nil
+	}
+	return "", fmt.Errorf("fleet: unknown arrival process %q (want constant, poisson, pareto, diurnal or ramp)", name)
+}
+
+// arrivalProcess generates the absolute virtual time of successive fleet
+// arrivals. next must be called exactly once per arrival, in order.
+type arrivalProcess interface {
+	next(i int) float64
+}
+
+// newArrival builds the process for a normalized spec. meanNS is the mean
+// fleet inter-arrival interval, startF the time of arrival 0, total the
+// number of arrivals the run will draw (the ramp's denominator), rng a
+// stream dedicated to the process.
+func newArrival(s ArrivalSpec, meanNS, startF float64, total int, rng *sim.RNG) arrivalProcess {
+	switch s.Kind {
+	case ArrivalPoisson:
+		return &gapArrival{t: startF, gap: func(int, float64) float64 {
+			return meanNS * rng.ExpFloat64()
+		}}
+	case ArrivalPareto:
+		// Unit-mean Pareto: scale (alpha-1)/alpha, so gaps average meanNS but
+		// the tail decays as a power law with index alpha.
+		scale := meanNS * (s.Alpha - 1) / s.Alpha
+		inv := -1 / s.Alpha
+		return &gapArrival{t: startF, gap: func(int, float64) float64 {
+			u := 1 - rng.Float64() // (0, 1]: keeps the power well-defined
+			return scale * math.Pow(u, inv)
+		}}
+	case ArrivalDiurnal:
+		periodNS := s.PeriodS * 1e9
+		return &gapArrival{t: startF, gap: func(_ int, t float64) float64 {
+			rate := 1 + s.Amplitude*math.Sin(2*math.Pi*t/periodNS)
+			return meanNS * rng.ExpFloat64() / rate
+		}}
+	case ArrivalRamp:
+		den := float64(total - 1)
+		if den < 1 {
+			den = 1
+		}
+		return &gapArrival{t: startF, gap: func(i int, _ float64) float64 {
+			factor := 1 + (s.RampTo-1)*float64(i)/den
+			return meanNS / factor
+		}}
+	default: // ArrivalConstant
+		return &constantArrival{startF: startF, intervalNS: meanNS}
+	}
+}
+
+// constantArrival computes arrival times by multiplication — the exact
+// floating-point schedule of the open-loop runner.
+type constantArrival struct {
+	startF, intervalNS float64
+}
+
+func (c *constantArrival) next(i int) float64 {
+	return c.startF + float64(i)*c.intervalNS
+}
+
+// gapArrival accumulates per-arrival gaps; gap receives the arrival index
+// and the previous arrival's time (the diurnal phase input).
+type gapArrival struct {
+	t   float64
+	gap func(i int, t float64) float64
+}
+
+func (g *gapArrival) next(i int) float64 {
+	if i > 0 {
+		g.t += g.gap(i, g.t)
+	}
+	return g.t
+}

@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+
+	"chopin/internal/sim"
+)
+
+// TestConstantArrivalExact: the constant process must produce exactly
+// startF + i*interval by multiplication — the open-loop runner's schedule —
+// or the N=1 oracle breaks on float accumulation.
+func TestConstantArrivalExact(t *testing.T) {
+	const interval = 1e9 / 3.0 // deliberately non-representable
+	p := newArrival(ArrivalSpec{Kind: ArrivalConstant}, interval, 7.5, 1000, sim.NewRNG(1))
+	for i := 0; i < 1000; i++ {
+		want := 7.5 + float64(i)*interval
+		if got := p.next(i); got != want {
+			t.Fatalf("arrival %d = %v, want exactly %v", i, got, want)
+		}
+	}
+}
+
+// TestArrivalsMonotone: every process yields non-decreasing times starting
+// at startF — the driver's injection discipline depends on it.
+func TestArrivalsMonotone(t *testing.T) {
+	specs := []ArrivalSpec{
+		{Kind: ArrivalConstant},
+		{Kind: ArrivalPoisson},
+		{Kind: ArrivalPareto, Alpha: 1.5},
+		{Kind: ArrivalDiurnal, Amplitude: 0.8, PeriodS: 1},
+		{Kind: ArrivalRamp, RampTo: 3},
+	}
+	for _, spec := range specs {
+		spec, err := spec.normalize(1e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := newArrival(spec, 1e6, 0, 5000, sim.NewRNG(9))
+		prev := math.Inf(-1)
+		for i := 0; i < 5000; i++ {
+			at := p.next(i)
+			if math.IsNaN(at) || math.IsInf(at, 0) {
+				t.Fatalf("%s: arrival %d = %v", spec.Kind, i, at)
+			}
+			if at < prev {
+				t.Fatalf("%s: arrival %d at %v before previous %v", spec.Kind, i, at, prev)
+			}
+			prev = at
+		}
+		if first := newArrival(spec, 1e6, 0, 10, sim.NewRNG(9)).next(0); first != 0 {
+			t.Fatalf("%s: first arrival at %v, want startF", spec.Kind, first)
+		}
+	}
+}
+
+// TestArrivalMeans: the stochastic processes should realize roughly the
+// configured mean rate over many draws.
+func TestArrivalMeans(t *testing.T) {
+	const n, mean = 20000, 1e6
+	for _, spec := range []ArrivalSpec{
+		{Kind: ArrivalPoisson},
+		{Kind: ArrivalPareto, Alpha: 2.5}, // finite variance, so the sample mean settles
+	} {
+		spec, err := spec.normalize(1e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := newArrival(spec, mean, 0, n, sim.NewRNG(3))
+		var last float64
+		for i := 0; i < n; i++ {
+			last = p.next(i)
+		}
+		got := last / float64(n-1)
+		if got < 0.9*mean || got > 1.1*mean {
+			t.Fatalf("%s: realized mean gap %v, want ~%v", spec.Kind, got, mean)
+		}
+	}
+}
+
+// TestRampAccelerates: the ramp's second half must arrive faster than its
+// first.
+func TestRampAccelerates(t *testing.T) {
+	spec, err := ArrivalSpec{Kind: ArrivalRamp, RampTo: 4}.normalize(1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	p := newArrival(spec, 1e6, 0, n, sim.NewRNG(1))
+	times := make([]float64, n)
+	for i := range times {
+		times[i] = p.next(i)
+	}
+	firstHalf := times[n/2-1] - times[0]
+	secondHalf := times[n-1] - times[n/2]
+	if secondHalf >= firstHalf {
+		t.Fatalf("ramp did not accelerate: first half %v, second half %v", firstHalf, secondHalf)
+	}
+}
+
+func TestArrivalSpecValidation(t *testing.T) {
+	bad := []ArrivalSpec{
+		{Kind: "nope"},
+		{Kind: ArrivalPareto, Alpha: 1},
+		{Kind: ArrivalPareto, Alpha: math.NaN()},
+		{Kind: ArrivalDiurnal, Amplitude: 1},
+		{Kind: ArrivalDiurnal, Amplitude: -0.1},
+		{Kind: ArrivalDiurnal, Amplitude: 0.5, PeriodS: math.Inf(1)},
+		{Kind: ArrivalRamp, RampTo: -2},
+	}
+	for _, spec := range bad {
+		if _, err := spec.normalize(1e9); err == nil {
+			t.Fatalf("spec %+v accepted", spec)
+		}
+	}
+	if _, err := ParseArrival("poisson"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseArrival("thunder"); err == nil {
+		t.Fatal("unknown arrival name parsed")
+	}
+}

@@ -1,0 +1,295 @@
+// Package fleet simulates a serving fleet: N replica instances of one
+// workload — each a complete simulated process with its own heap, collector
+// and JIT warmup state — behind a load balancer, fed by an open-loop arrival
+// process on one shared virtual clock.
+//
+// The paper's single-invocation methodology measures how one JVM behaves
+// under GC pressure; production latency is a fleet property. A request that
+// lands on a replica mid-pause waits out the pause, but a balancer that can
+// see load (or pauses) routes around it — so fleet tail latency depends on
+// the interaction of collector, policy and arrival burstiness, which is
+// exactly the grid this package sweeps.
+//
+// Determinism: replicas are independent engines interleaved by a sim.Cluster
+// in global event-time order, arrivals are a pure function of the fleet seed,
+// and the driver injects each arrival before the cluster steps past its time
+// (so timer deadlines are exact). A whole fleet run is therefore a pure
+// function of (descriptor, Config) — byte-identical across hosts, worker
+// counts and repetitions — and a single-replica fleet under constant arrivals
+// reproduces the standalone open-loop runner exactly.
+package fleet
+
+import (
+	"fmt"
+
+	"chopin/internal/cpuarch"
+	"chopin/internal/latency"
+	"chopin/internal/obs"
+	"chopin/internal/sim"
+	"chopin/internal/workload"
+)
+
+// replicaSeedStride separates per-replica RNG streams: replica i runs with
+// Run.Seed + i*stride, so replica 0 of any fleet is bit-identical to a
+// standalone invocation at the base seed (the N=1 oracle), while siblings
+// behave like distinct invocations. A large odd stride keeps the splitmix64
+// streams uncorrelated.
+const replicaSeedStride = 1_000_003
+
+// defaultStepBudget caps total fleet simulation events, mirroring the
+// standalone runner's per-engine safety net: a mis-sized fleet (arrival rate
+// far beyond capacity) diverges by queueing, not by hanging the sweep.
+const defaultStepBudget = 500_000_000
+
+// Config parameterizes one fleet run. The zero value of optional fields
+// selects documented defaults; Run carries the per-replica invocation
+// configuration exactly as workload.Run would take it.
+type Config struct {
+	// Replicas is the fleet size N (default 1).
+	Replicas int `json:"replicas"`
+	// Policy selects the load balancer (default RoundRobin).
+	Policy Policy `json:"policy,omitempty"`
+	// Arrival selects and parameterizes the arrival process (default
+	// constant rate).
+	Arrival ArrivalSpec `json:"arrival,omitempty"`
+	// Requests is the total number of fleet arrivals; 0 means
+	// Replicas × events × iterations — the same per-replica volume a
+	// standalone run would serve.
+	Requests int `json:"requests,omitempty"`
+	// Run is the per-replica invocation config. OpenLoop is implied;
+	// OpenLoopHeadroom stretches the fleet's mean inter-arrival interval
+	// exactly as it stretches the standalone runner's. Seed is the fleet
+	// seed: replica i simulates at Seed + i*1000003, and the arrival
+	// process draws from its own stream derived from Seed.
+	Run workload.RunConfig `json:"run"`
+	// RetryAfterNS re-injects a request whose latency exceeded this bound —
+	// the client-side timeout-and-retry that turns a GC pause into a retry
+	// storm. 0 disables retries.
+	RetryAfterNS float64 `json:"retry_after_ns,omitempty"`
+	// MaxRetries bounds retries per request (default 3 when retries are on).
+	MaxRetries int `json:"max_retries,omitempty"`
+	// HostCores is the physical core budget the fleet is co-located onto,
+	// the denominator of the host-CPU pressure metric. 0 means
+	// Replicas × machine cores: every replica fully provisioned, no
+	// co-location pressure. Co-location never alters the simulation — it is
+	// reported, not modeled, so workload-identical cells stay cacheable.
+	HostCores int `json:"host_cores,omitempty"`
+	// SLAs is the latency ladder the report grades the fleet against
+	// (default latency.DefaultSLAs).
+	SLAs []latency.SLA `json:"slas,omitempty"`
+	// RetryStormFrac flags the run as a retry storm when
+	// retries/requests exceeds it (default 0.1).
+	RetryStormFrac float64 `json:"retry_storm_frac,omitempty"`
+	// StepBudget caps total simulation events across the fleet (default
+	// 500M, the standalone runner's safety net).
+	StepBudget int64 `json:"step_budget,omitempty"`
+}
+
+// arrivalSeedSalt separates the arrival process's RNG stream from every
+// replica stream derived from the same fleet seed.
+const arrivalSeedSalt = 0x6f1e_e7a1_12b5_9bd1
+
+// normalize fills cfg's defaults against the descriptor.
+func (cfg Config) normalize(d *workload.Descriptor) Config {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = RoundRobin
+	}
+	if cfg.Requests <= 0 {
+		ev := cfg.Run.Events
+		if ev <= 0 {
+			ev = d.Events
+		}
+		iters := cfg.Run.Iterations
+		if iters < 1 {
+			iters = 1
+		}
+		cfg.Requests = cfg.Replicas * ev * iters
+	}
+	if cfg.RetryAfterNS > 0 && cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 3
+	}
+	if cfg.HostCores <= 0 {
+		m := cfg.Run.Machine
+		if m.Name == "" {
+			m = cpuarch.Zen4
+		}
+		cfg.HostCores = cfg.Replicas * m.Cores
+	}
+	if len(cfg.SLAs) == 0 {
+		cfg.SLAs = latency.DefaultSLAs
+	}
+	if cfg.RetryStormFrac <= 0 {
+		cfg.RetryStormFrac = 0.1
+	}
+	if cfg.StepBudget <= 0 {
+		cfg.StepBudget = defaultStepBudget
+	}
+	return cfg
+}
+
+// pendingRetry is one queued re-injection: request id retries at virtual
+// time t. Retries are created in completion-time order, so the queue is FIFO
+// in non-decreasing t.
+type pendingRetry struct {
+	t  float64
+	id int32
+}
+
+// Run executes one fleet simulation and returns its report. rec receives
+// fleet telemetry (per-replica summaries, retry events, the fleet report);
+// obs.Nop disables it. The run is deterministic in (d, cfg).
+func Run(d *workload.Descriptor, cfg Config, rec obs.Recorder) (*Report, error) {
+	rec = obs.Or(rec)
+	reps, retried, cfg, err := drive(d, cfg, rec)
+	if err != nil {
+		return nil, err
+	}
+	rep := buildReport(d, cfg, reps, retried)
+	recordReport(rec, d, cfg, reps, rep)
+	return rep, nil
+}
+
+// drive executes the fleet simulation itself, returning the drained replicas
+// and the retry count (Run layers the report on top; the oracle test reads
+// the replicas directly).
+func drive(d *workload.Descriptor, cfg Config, rec obs.Recorder) ([]*workload.Replica, int64, Config, error) {
+	cfg = cfg.normalize(d)
+	rec = obs.Or(rec)
+	bal, err := newBalancer(cfg.Policy)
+	if err != nil {
+		return nil, 0, cfg, err
+	}
+
+	reps := make([]*workload.Replica, cfg.Replicas)
+	engines := make([]*sim.Engine, cfg.Replicas)
+	backs := make([]backend, cfg.Replicas)
+	for i := range reps {
+		rcfg := cfg.Run
+		rcfg.Seed += uint64(i) * replicaSeedStride
+		rp, err := workload.NewReplica(d, rcfg, i)
+		if err != nil {
+			return nil, 0, cfg, err
+		}
+		reps[i] = rp
+		engines[i] = rp.Engine()
+		backs[i] = rp
+	}
+
+	// The fleet's mean inter-arrival interval divides the per-replica
+	// open-loop interval by N: each replica sees, on average, the load a
+	// standalone run would offer it. For N=1 the division is an exact
+	// identity, which the oracle test depends on.
+	perReplica, err := reps[0].Interval()
+	if err != nil {
+		return nil, 0, cfg, err
+	}
+	meanNS := perReplica / float64(cfg.Replicas)
+
+	startF := engines[0].NowF()
+	spec, err := cfg.Arrival.normalize(meanNS * float64(cfg.Requests))
+	if err != nil {
+		return nil, 0, cfg, err
+	}
+	cfg.Arrival = spec
+	proc := newArrival(spec, meanNS, startF, cfg.Requests,
+		sim.NewRNG(cfg.Run.Seed^arrivalSeedSalt))
+
+	cluster := sim.NewCluster(engines...)
+	var (
+		arrIdx    int            // next fresh arrival to draw
+		nextArr   float64        // its time, valid while arrIdx < Requests
+		retries   []pendingRetry // FIFO, non-decreasing t
+		retryHead int
+		depth     = make([]int32, cfg.Requests)
+		steps     int64
+		retried   int64
+	)
+	if cfg.Requests > 0 {
+		nextArr = proc.next(0)
+	}
+
+	for {
+		// Choose the next injection: earliest of the fresh-arrival stream
+		// and the retry queue, retries first on ties (the retried request
+		// has been waiting longer than any same-instant fresh arrival).
+		injT, injID, haveInj, isRetry := 0.0, int32(0), false, false
+		if retryHead < len(retries) {
+			injT, injID, haveInj, isRetry = retries[retryHead].t, retries[retryHead].id, true, true
+		}
+		if arrIdx < cfg.Requests && (!haveInj || nextArr < injT) {
+			injT, injID, haveInj, isRetry = nextArr, int32(arrIdx), true, false
+		}
+
+		idx, at, ok := cluster.Peek()
+		if haveInj && (!ok || injT <= at) {
+			// Inject before the cluster steps past injT: every engine's
+			// clock is still at or before injT, so the arrival timer's
+			// deadline is exact.
+			reps[bal.pick(backs)].InjectAt(injT, injID)
+			if isRetry {
+				retryHead++
+				if retryHead == len(retries) {
+					retries, retryHead = retries[:0], 0
+				}
+			} else {
+				arrIdx++
+				if arrIdx < cfg.Requests {
+					nextArr = proc.next(arrIdx)
+				}
+			}
+			continue
+		}
+		if !ok {
+			break // quiescent with nothing left to inject: drained
+		}
+
+		engines[idx].Step()
+		steps++
+		if steps > cfg.StepBudget {
+			return nil, 0, cfg, fmt.Errorf("fleet: %s: event budget exceeded after %d events (rate beyond fleet capacity?)",
+				d.Name, cfg.StepBudget)
+		}
+		rp := reps[idx]
+		if rp.OOM() {
+			return nil, 0, cfg, rp.OOMErr()
+		}
+		for _, c := range rp.DrainCompletions() {
+			lat := float64(c.End - c.Start)
+			if cfg.RetryAfterNS > 0 && lat > cfg.RetryAfterNS && depth[c.ID] < int32(cfg.MaxRetries) {
+				depth[c.ID]++
+				retried++
+				// Re-inject at the step's exact float time (== the
+				// completion instant) rather than the truncated c.End, so
+				// the retry timer never lands behind the engine clock.
+				retries = append(retries, pendingRetry{t: at, id: c.ID})
+				if rec.Enabled() {
+					rec.Record(obs.Event{
+						Kind:      obs.KindFleetRetry,
+						TNS:       c.End,
+						Run:       d.Name,
+						Collector: cfg.Run.Collector.String(),
+						Value:     float64(c.ID),
+						Aux:       float64(depth[c.ID]),
+						DurNS:     lat,
+					})
+				}
+			}
+		}
+	}
+
+	if arrIdx < cfg.Requests || retryHead < len(retries) {
+		return nil, 0, cfg, fmt.Errorf("fleet: %s: cluster went quiescent with %d arrivals and %d retries pending",
+			d.Name, cfg.Requests-arrIdx, len(retries)-retryHead)
+	}
+	for _, rp := range reps {
+		if n := rp.Outstanding(); n != 0 {
+			return nil, 0, cfg, fmt.Errorf("fleet: %s: replica %d lost %d requests",
+				d.Name, rp.Index(), n)
+		}
+	}
+
+	return reps, retried, cfg, nil
+}

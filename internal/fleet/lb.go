@@ -1,0 +1,104 @@
+package fleet
+
+import "fmt"
+
+// Load balancers.
+//
+// The balancer chooses, at each arrival's injection time, which replica
+// serves it. It sees only what a real front-end could see — per-replica
+// outstanding counts and (for the GC-aware policy) whether a replica is
+// currently inside a stop-the-world pause, the signal a real balancer
+// approximates with health-check latency or explicit load shedding. Policies
+// are deterministic: same arrival sequence and replica states, same routing.
+
+// Policy names a load-balancing policy.
+type Policy string
+
+const (
+	// RoundRobin rotates arrivals across replicas in index order, blind to
+	// load — the baseline every serving stack starts from.
+	RoundRobin Policy = "round-robin"
+	// LeastOutstanding routes to the replica with the fewest requests
+	// injected but not yet completed (queued + in service), lowest index on
+	// ties — the classic least-connections policy.
+	LeastOutstanding Policy = "least-outstanding"
+	// GCAware is LeastOutstanding restricted to replicas not currently in a
+	// stop-the-world pause; when every replica is paused it degrades to
+	// plain LeastOutstanding. This is the policy the fleet experiment
+	// exists to evaluate: how much tail latency does routing around pauses
+	// recover, per collector?
+	GCAware Policy = "gc-aware"
+)
+
+// ParsePolicy parses a policy name (the -lb flag).
+func ParsePolicy(name string) (Policy, error) {
+	switch Policy(name) {
+	case RoundRobin, LeastOutstanding, GCAware:
+		return Policy(name), nil
+	}
+	return "", fmt.Errorf("fleet: unknown balancer policy %q (want round-robin, least-outstanding or gc-aware)", name)
+}
+
+// backend is the balancer's view of one replica: the signals a front-end
+// could realistically observe. Narrowing the interface keeps policies
+// unit-testable without simulated replicas.
+type backend interface {
+	Outstanding() int
+	Paused() bool
+}
+
+// balancer picks the replica to serve the next arrival.
+type balancer interface {
+	pick(reps []backend) int
+}
+
+func newBalancer(p Policy) (balancer, error) {
+	switch p {
+	case RoundRobin, "":
+		return &roundRobin{}, nil
+	case LeastOutstanding:
+		return leastOutstanding{}, nil
+	case GCAware:
+		return gcAware{}, nil
+	}
+	return nil, fmt.Errorf("fleet: unknown balancer policy %q", p)
+}
+
+type roundRobin struct{ n int }
+
+func (rr *roundRobin) pick(reps []backend) int {
+	i := rr.n % len(reps)
+	rr.n++
+	return i
+}
+
+type leastOutstanding struct{}
+
+func (leastOutstanding) pick(reps []backend) int {
+	best := 0
+	for i := 1; i < len(reps); i++ {
+		if reps[i].Outstanding() < reps[best].Outstanding() {
+			best = i
+		}
+	}
+	return best
+}
+
+type gcAware struct{}
+
+func (gcAware) pick(reps []backend) int {
+	best := -1
+	for i, rp := range reps {
+		if rp.Paused() {
+			continue
+		}
+		if best < 0 || rp.Outstanding() < reps[best].Outstanding() {
+			best = i
+		}
+	}
+	if best < 0 {
+		// Whole fleet paused at once: no routing escape, fall back to load.
+		return leastOutstanding{}.pick(reps)
+	}
+	return best
+}

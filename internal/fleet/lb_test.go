@@ -1,0 +1,86 @@
+package fleet
+
+import "testing"
+
+// fakeBackend is a balancer test double.
+type fakeBackend struct {
+	out    int
+	paused bool
+}
+
+func (f *fakeBackend) Outstanding() int { return f.out }
+func (f *fakeBackend) Paused() bool     { return f.paused }
+
+func backends(specs ...fakeBackend) []backend {
+	out := make([]backend, len(specs))
+	for i := range specs {
+		s := specs[i]
+		out[i] = &s
+	}
+	return out
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	bal, err := newBalancer(RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := backends(fakeBackend{}, fakeBackend{}, fakeBackend{})
+	for i := 0; i < 9; i++ {
+		if got := bal.pick(reps); got != i%3 {
+			t.Fatalf("pick %d = %d, want %d", i, got, i%3)
+		}
+	}
+}
+
+func TestLeastOutstandingPicksMin(t *testing.T) {
+	bal, err := newBalancer(LeastOutstanding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bal.pick(backends(fakeBackend{out: 4}, fakeBackend{out: 1}, fakeBackend{out: 3})); got != 1 {
+		t.Fatalf("pick = %d, want 1", got)
+	}
+	// Ties break to the lowest index.
+	if got := bal.pick(backends(fakeBackend{out: 2}, fakeBackend{out: 2})); got != 0 {
+		t.Fatalf("tie pick = %d, want 0", got)
+	}
+}
+
+func TestGCAwareRoutesAroundPauses(t *testing.T) {
+	bal, err := newBalancer(GCAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The least-loaded replica is paused: route to the least-loaded healthy one.
+	got := bal.pick(backends(
+		fakeBackend{out: 1, paused: true},
+		fakeBackend{out: 5},
+		fakeBackend{out: 3},
+	))
+	if got != 2 {
+		t.Fatalf("pick = %d, want 2 (least-loaded unpaused)", got)
+	}
+	// Whole fleet paused: degrade to plain least-outstanding.
+	got = bal.pick(backends(
+		fakeBackend{out: 5, paused: true},
+		fakeBackend{out: 2, paused: true},
+	))
+	if got != 1 {
+		t.Fatalf("all-paused pick = %d, want 1", got)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, name := range []string{"round-robin", "least-outstanding", "gc-aware"} {
+		if _, err := ParsePolicy(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ParsePolicy("random"); err == nil {
+		t.Fatal("unknown policy parsed")
+	}
+	if _, err := newBalancer("random"); err == nil {
+		t.Fatal("unknown policy built")
+	}
+}

@@ -1,0 +1,159 @@
+package fleet
+
+import (
+	"encoding/json"
+	"testing"
+
+	"chopin/internal/exper"
+	"chopin/internal/gc"
+	"chopin/internal/workload"
+)
+
+func testSweep() Sweep {
+	base := testConfig(1, RoundRobin)
+	base.Requests = 0 // derive per cell from replicas × events
+	return Sweep{
+		Replicas:   []int{1, 2},
+		Policies:   []Policy{RoundRobin, GCAware},
+		Collectors: []gc.Kind{gc.G1},
+		Rates:      []float64{1.0, 2.0},
+		Base:       base,
+	}
+}
+
+func runSweep(t *testing.T, workers int, cache *exper.Cache) *Result {
+	t.Helper()
+	eng := exper.New(exper.Options{Workers: workers, Cache: cache})
+	defer eng.Close()
+	res, err := RunSweep(eng, workload.MicroPauseProbe, testSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSweepDeterministicAcrossWorkers: the merged sweep result must be
+// byte-identical however many pool workers execute it — collection order is
+// the grid's, not the scheduler's.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	marshal := func(r *Result) string {
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	serial := marshal(runSweep(t, 1, nil))
+	parallel := marshal(runSweep(t, 4, nil))
+	if serial != parallel {
+		t.Fatalf("sweep not worker-count invariant:\n--- workers=1\n%s\n--- workers=4\n%s",
+			serial, parallel)
+	}
+}
+
+// TestSweepShape checks grid order and the derived critical rates.
+func TestSweepShape(t *testing.T) {
+	res := runSweep(t, 2, nil)
+	if len(res.Cells) != 2*2*1*2 {
+		t.Fatalf("cells = %d, want 8", len(res.Cells))
+	}
+	// Grid order: replicas outermost, rates innermost.
+	if res.Cells[0].Replicas != 1 || res.Cells[0].Rate != 1.0 ||
+		res.Cells[1].Rate != 2.0 || res.Cells[4].Replicas != 2 {
+		t.Fatalf("cells out of grid order: %+v", res.Cells[:5])
+	}
+	if len(res.Critical) != 4 { // (replicas × policy) groups
+		t.Fatalf("critical rates = %d, want 4", len(res.Critical))
+	}
+	for _, cell := range res.Cells {
+		if cell.Report == nil {
+			t.Fatalf("cell %+v missing report", cell)
+		}
+	}
+	for _, cr := range res.Critical {
+		if cr.RatePerSec > 0 && cr.Headroom == 0 {
+			t.Fatalf("critical rate %+v without its headroom", cr)
+		}
+	}
+}
+
+// TestSweepResumesFromCache: a second engine over the same cache satisfies
+// every cell without executing, and returns the identical result.
+func TestSweepResumesFromCache(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := exper.OpenCache(dir, exper.ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := runSweep(t, 2, cache)
+	if err := cache.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cache2, err := exper.OpenCache(dir, exper.ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache2.Close()
+	eng := exper.New(exper.Options{Workers: 2, Cache: cache2})
+	defer eng.Close()
+	warm, err := RunSweep(eng, workload.MicroPauseProbe, testSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Executed != 0 || st.CacheHits != int64(len(warm.Cells)) {
+		t.Fatalf("warm sweep executed %d cells, %d cache hits; want 0 and %d",
+			st.Executed, st.CacheHits, len(warm.Cells))
+	}
+	a, _ := json.Marshal(cold)
+	b, _ := json.Marshal(warm)
+	if string(a) != string(b) {
+		t.Fatalf("cached sweep drifted:\n--- cold\n%s\n--- warm\n%s", a, b)
+	}
+}
+
+// TestSweepOOMCellIsReported: a heap below minimum yields an OOM cell, not a
+// failed sweep, and the outcome is cacheable.
+func TestSweepOOMCellIsReported(t *testing.T) {
+	sw := testSweep()
+	sw.Replicas = []int{1}
+	sw.Policies = []Policy{RoundRobin}
+	sw.Rates = []float64{1.0}
+	sw.Base.Run.HeapMB = 1 // far below MicroPauseProbe's 20MB minimum
+
+	eng := exper.New(exper.Options{Workers: 1})
+	defer eng.Close()
+	res, err := RunSweep(eng, workload.MicroPauseProbe, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 1 || !res.Cells[0].OOM || res.Cells[0].Report != nil {
+		t.Fatalf("OOM cell = %+v", res.Cells[0])
+	}
+	if len(res.Critical) != 1 || res.Critical[0].RatePerSec != 0 {
+		t.Fatalf("critical rate from an all-OOM ladder = %+v", res.Critical)
+	}
+}
+
+// BenchmarkFleetSweep is the tier-1 perf probe for the fleet layer: one
+// four-cell sweep (2 replicas × 2 policies) over the pause-probe micro
+// workload, engine and cells re-run every iteration.
+func BenchmarkFleetSweep(b *testing.B) {
+	base := testConfig(1, RoundRobin)
+	base.Requests = 0
+	sw := Sweep{
+		Replicas: []int{2},
+		Policies: []Policy{RoundRobin, GCAware},
+		Rates:    []float64{1.0, 2.0},
+		Base:     base,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := exper.New(exper.Options{Workers: 2})
+		if _, err := RunSweep(eng, workload.MicroPauseProbe, sw); err != nil {
+			b.Fatal(err)
+		}
+		eng.Close()
+	}
+}

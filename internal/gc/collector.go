@@ -287,6 +287,11 @@ func (c *Collector) phaseStart(kind trace.GCKind, cause int64) int64 {
 // fell back to a stop-the-world full collection.
 func (c *Collector) Degenerations() int { return c.degenerations }
 
+// Paused reports whether the world is currently stopped: mutator quanta are
+// deferred and any request routed here waits out the pause. A GC-aware load
+// balancer reads this to route around pausing replicas.
+func (c *Collector) Paused() bool { return c.inPause }
+
 // RegisterMutator declares a mutator thread subject to STW pauses.
 func (c *Collector) RegisterMutator(t *sim.Thread) {
 	c.mutators = append(c.mutators, t)

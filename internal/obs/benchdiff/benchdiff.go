@@ -161,7 +161,7 @@ func deriveEfficiency(s Samples) {
 			if w8[i] <= 0 {
 				continue
 			}
-			s.series(base + effSuffix).Add(NsPerOp, w1[i]/w8[i])
+			s.series(base+effSuffix).Add(NsPerOp, w1[i]/w8[i])
 		}
 	}
 }
@@ -400,8 +400,26 @@ func Compare(old, new Samples, opt Options) Report {
 		}
 		for m := Metric(0); m < numMetrics; m++ {
 			o, n := so.Samples(m), sn.Samples(m)
-			if len(o) == 0 || len(n) == 0 {
-				continue // metric recorded on one side only: nothing to test
+			if len(o) == 0 && len(n) == 0 {
+				continue
+			}
+			// A metric recorded on one side only is a shape change (a bench
+			// gained or lost -benchmem columns, a new benchmark's metric has
+			// no baseline yet): reported as added/deleted, never a gate
+			// failure — exactly like a name present on one side alone.
+			if len(n) == 0 {
+				rep.Deltas = append(rep.Deltas, Delta{
+					Name: name, Metric: m, Verdict: OnlyOld,
+					OldMedian: stats.Median(o), NOld: len(o), P: 1,
+				})
+				continue
+			}
+			if len(o) == 0 {
+				rep.Deltas = append(rep.Deltas, Delta{
+					Name: name, Metric: m, Verdict: OnlyNew,
+					NewMedian: stats.Median(n), NNew: len(n), P: 1,
+				})
+				continue
 			}
 			d := compareMetric(name, m, o, n, opt)
 			switch d.Verdict {

@@ -1,0 +1,55 @@
+package benchdiff
+
+import "testing"
+
+// One-sided metric handling: a benchmark that loses (or gains) its -benchmem
+// columns between runs is a shape change, not a performance change. Before
+// the fix the empty side fed a zero-length sample set into the comparison,
+// which read as a spurious regression or improvement of the gate.
+
+// TestCompareBenchmemDropped: the new run recorded no B/op or allocs/op for
+// a benchmark both sides ran. The metric deltas must come back as "deleted"
+// (OnlyOld), untested, and must not move the gate counters.
+func TestCompareBenchmemDropped(t *testing.T) {
+	rep := Compare(load(t, "old.bench.txt"), load(t, "benchmem_dropped.bench.txt"), Options{})
+	if rep.Regressions != 0 || rep.Improvements != 0 {
+		t.Fatalf("one-sided metrics moved the gate: %d regressions, %d improvements\n%+v",
+			rep.Regressions, rep.Improvements, rep.Deltas)
+	}
+	for _, m := range []Metric{BytesPerOp, AllocsPerOp} {
+		d := deltaFor(t, rep, "BenchmarkEngineStep/threads=8", m)
+		if d.Verdict != OnlyOld {
+			t.Fatalf("%s verdict = %v, want OnlyOld", m, d.Verdict)
+		}
+		if d.Tested || d.P != 1 {
+			t.Fatalf("%s one-sided delta tested (p=%v)", m, d.P)
+		}
+		if d.NNew != 0 || d.NOld == 0 {
+			t.Fatalf("%s sample counts = %d old, %d new", m, d.NOld, d.NNew)
+		}
+	}
+	// Wall time is present on both sides and unchanged.
+	if d := deltaFor(t, rep, "BenchmarkEngineStep/threads=8", NsPerOp); d.Verdict != Unchanged {
+		t.Fatalf("ns/op verdict = %v, want Unchanged", d.Verdict)
+	}
+}
+
+// TestCompareBenchmemGained: the mirror image — the old run lacked
+// -benchmem. The metrics appear as "added" (OnlyNew), again without failing
+// the gate.
+func TestCompareBenchmemGained(t *testing.T) {
+	rep := Compare(load(t, "benchmem_dropped.bench.txt"), load(t, "old.bench.txt"), Options{})
+	if rep.Regressions != 0 || rep.Improvements != 0 {
+		t.Fatalf("gained metrics moved the gate: %d regressions, %d improvements",
+			rep.Regressions, rep.Improvements)
+	}
+	for _, m := range []Metric{BytesPerOp, AllocsPerOp} {
+		d := deltaFor(t, rep, "BenchmarkEngineStep/threads=8", m)
+		if d.Verdict != OnlyNew {
+			t.Fatalf("%s verdict = %v, want OnlyNew", m, d.Verdict)
+		}
+		if d.NOld != 0 || d.NNew == 0 {
+			t.Fatalf("%s sample counts = %d old, %d new", m, d.NOld, d.NNew)
+		}
+	}
+}

@@ -85,6 +85,21 @@ const (
 	// and deque high-water mark, carried in the dedicated scheduler
 	// fields. Value is the worker index.
 	KindSchedWorker
+	// KindFleetReplica is one replica's end-of-run serving summary in a
+	// fleet simulation (internal/fleet): Value is the replica index, Aux its
+	// completed request count, DurNS its p99 latency, CPUNS its task-clock
+	// total, HeapUsed its peak heap occupancy.
+	KindFleetReplica
+	// KindFleetRetry is one timed-out request re-injected into the fleet:
+	// TNS the retry's injection (= original completion) time, Value the
+	// request ID, Aux its retry depth, DurNS the latency that breached the
+	// timeout.
+	KindFleetRetry
+	// KindFleetReport is the fleet-level SLO summary, one per fleet run:
+	// Value the replica count, Aux total completed requests, DurNS the fleet
+	// p99 latency, CPUNS the fleet task-clock total, StallFrac the host CPU
+	// pressure (task clock over host-core wall capacity).
+	KindFleetReport
 )
 
 var kindNames = [...]string{
@@ -103,6 +118,9 @@ var kindNames = [...]string{
 	KindSample:       "sample",
 	KindRunEnd:       "run_end",
 	KindSchedWorker:  "sched-worker",
+	KindFleetReplica: "fleet-replica",
+	KindFleetRetry:   "fleet-retry",
+	KindFleetReport:  "fleet-report",
 }
 
 func (k Kind) String() string {

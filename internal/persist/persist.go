@@ -25,7 +25,7 @@ type Archive struct {
 	// Version guards the schema; bump on incompatible change.
 	Version int `json:"version"`
 	// Kind describes the payload: "lbo-grid", "geomean", "characterization",
-	// "invocation", "minheap".
+	// "invocation", "minheap", "generic".
 	Kind string `json:"kind"`
 
 	Grid             *lbo.Grid                 `json:"grid,omitempty"`
@@ -33,6 +33,7 @@ type Archive struct {
 	Characterization *nominal.Characterization `json:"characterization,omitempty"`
 	Invocation       *InvocationRecord         `json:"invocation,omitempty"`
 	MinHeap          *MinHeapRecord            `json:"min_heap,omitempty"`
+	Generic          *GenericRecord            `json:"generic,omitempty"`
 }
 
 // InvocationRecord is one cached simulator invocation: the complete Result
@@ -59,6 +60,17 @@ type MinHeapRecord struct {
 	Key       string  `json:"key"`
 	Workload  string  `json:"workload"`
 	MinHeapMB float64 `json:"min_heap_mb"`
+}
+
+// GenericRecord is one cached result of an arbitrary engine job kind
+// (exper.SubmitGeneric): an opaque JSON payload owned by the submitting
+// subsystem (fleet sweep cells, future experiment kinds), keyed by the
+// canonical content hash of the job's parameters. Kind names the submitting
+// job family, for humans browsing a cache directory.
+type GenericRecord struct {
+	Key  string          `json:"key"`
+	Kind string          `json:"job_kind"`
+	Data json.RawMessage `json:"data"`
 }
 
 const (
@@ -96,6 +108,11 @@ func SaveMinHeap(path string, r *MinHeapRecord) error {
 	return write(path, Archive{Version: currentVersion, Kind: "minheap", MinHeap: r})
 }
 
+// SaveGeneric writes one cached generic job result.
+func SaveGeneric(path string, r *GenericRecord) error {
+	return write(path, Archive{Version: currentVersion, Kind: "generic", Generic: r})
+}
+
 func write(path string, a Archive) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("persist: %w", err)
@@ -127,7 +144,7 @@ func migrate(path string, a *Archive) error {
 			// the invocation-cache kinds did not exist yet, so a v1 archive
 			// claiming one is corrupt rather than old.
 			switch a.Kind {
-			case "invocation", "minheap":
+			case "invocation", "minheap", "generic":
 				return fmt.Errorf("persist: %s: kind %q requires version 2, archive claims version 1", path, a.Kind)
 			}
 			a.Version = 2
@@ -183,6 +200,13 @@ func Load(path string) (*Archive, error) {
 		if a.MinHeap.MinHeapMB <= 0 {
 			return nil, fmt.Errorf("persist: %s: minheap archive with non-positive heap %v",
 				path, a.MinHeap.MinHeapMB)
+		}
+	case "generic":
+		if a.Generic == nil {
+			return nil, fmt.Errorf("persist: %s: generic archive without record", path)
+		}
+		if len(a.Generic.Data) == 0 {
+			return nil, fmt.Errorf("persist: %s: generic archive without payload", path)
 		}
 	default:
 		return nil, fmt.Errorf("persist: %s: unknown kind %q", path, a.Kind)
@@ -248,4 +272,16 @@ func LoadMinHeap(path string) (*MinHeapRecord, error) {
 		return nil, fmt.Errorf("persist: %s holds %q, want minheap", path, a.Kind)
 	}
 	return a.MinHeap, nil
+}
+
+// LoadGeneric reads a cached generic job archive.
+func LoadGeneric(path string) (*GenericRecord, error) {
+	a, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if a.Kind != "generic" {
+		return nil, fmt.Errorf("persist: %s holds %q, want generic", path, a.Kind)
+	}
+	return a.Generic, nil
 }

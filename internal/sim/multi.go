@@ -1,0 +1,131 @@
+package sim
+
+import "math"
+
+// Multi-instance stepping.
+//
+// A fleet simulation runs N independent engines — one per replica, each with
+// its own heap, collector and thread population — on one shared virtual
+// clock. Nothing in the engines is shared; the Cluster merely interleaves
+// their steps in global time order, stepping whichever engine's next event
+// is earliest. Because an engine's clock only advances when it is stepped,
+// the sequence of step times is non-decreasing and every engine's Now stays
+// at or before the time of the last step taken — which is what lets a driver
+// inject work (an arriving request) at time t into any engine with exact
+// timer deadlines, provided it injects before the cluster steps past t.
+
+// NextEventAt returns the virtual time of the engine's next event — the
+// earliest quantum completion or live timer — without advancing anything. It
+// reports false when the engine is quiescent. Stale completion entries and
+// cancelled timers surfacing at their heap tops are discarded, exactly as
+// Step would discard them, so the peek is allocation-free and does not
+// perturb the subsequent step.
+func (e *Engine) NextEventAt() (float64, bool) {
+	run := e.runCount
+	if e.naive {
+		run = 0
+		for _, t := range e.threads {
+			if t.state == StateRunnable {
+				run++
+			}
+		}
+	}
+	if run == 0 {
+		at, ok := e.nextTimerAt()
+		if !ok {
+			return 0, false
+		}
+		if at < e.now {
+			at = e.now
+		}
+		return at, true
+	}
+
+	rate := e.rateFor(run)
+	dt := math.Inf(1)
+	if e.naive {
+		for _, t := range e.threads {
+			if t.state != StateRunnable {
+				continue
+			}
+			if d := t.remaining / rate; d < dt {
+				dt = d
+			}
+		}
+	} else {
+		for e.comp.len() > 0 {
+			top := e.comp.peek()
+			if top.epoch != top.t.epoch {
+				e.comp.pop()
+				e.staleComp--
+				continue
+			}
+			dt = (top.finishS - e.vs) / rate
+			break
+		}
+	}
+	if math.IsInf(dt, 1) {
+		panic("sim: runnable threads without completion entries")
+	}
+	if at, ok := e.nextTimerAt(); ok {
+		if d := at - e.now; d < dt {
+			dt = d
+		}
+	}
+	if dt < 0 {
+		dt = 0
+	}
+	return e.now + dt, true
+}
+
+// Cluster interleaves the steps of several independent engines in global
+// virtual-time order. All engines advance on one logical clock: Step always
+// steps the engine whose next event is earliest (ties broken by lowest
+// index), so across the whole cluster event times are processed in
+// non-decreasing order. The cluster owns no state beyond the engine list;
+// engines may still be driven directly between cluster steps (scheduling
+// timers, reading clocks).
+type Cluster struct {
+	engines []*Engine
+}
+
+// NewCluster builds a cluster over the given engines. The slice is retained;
+// indices into it identify engines in Peek/Step results.
+func NewCluster(engines ...*Engine) *Cluster {
+	return &Cluster{engines: engines}
+}
+
+// Len returns the number of engines in the cluster.
+func (c *Cluster) Len() int { return len(c.engines) }
+
+// Engine returns the i-th engine.
+func (c *Cluster) Engine(i int) *Engine { return c.engines[i] }
+
+// Peek returns the index and next-event time of the engine the next Step
+// would advance: the earliest next event across the cluster, lowest engine
+// index on exact ties. ok is false when every engine is quiescent.
+func (c *Cluster) Peek() (idx int, at float64, ok bool) {
+	idx = -1
+	for i, e := range c.engines {
+		t, alive := e.NextEventAt()
+		if !alive {
+			continue
+		}
+		if idx < 0 || t < at {
+			idx, at = i, t
+		}
+	}
+	return idx, at, idx >= 0
+}
+
+// Step advances the globally earliest engine by one event and returns its
+// index; ok is false (and nothing advances) when the whole cluster is
+// quiescent.
+func (c *Cluster) Step() (idx int, ok bool) {
+	idx, _, ok = c.Peek()
+	if !ok {
+		return -1, false
+	}
+	c.engines[idx].Step()
+	return idx, true
+}

@@ -1,0 +1,140 @@
+package sim
+
+import "testing"
+
+// TestNextEventAtMatchesStep: the peek must equal the time the next Step
+// actually advances to, across quantum completions and timers, without
+// perturbing the engine.
+func TestNextEventAtMatchesStep(t *testing.T) {
+	e := NewEngine(2, nil)
+	th := e.NewThread("w")
+	var chain func(n int)
+	chain = func(n int) {
+		if n > 0 {
+			th.Exec(137, func() { chain(n - 1) })
+		}
+	}
+	chain(5)
+	e.After(300, func() {})
+	e.After(990, func() {})
+
+	for {
+		at, ok := e.NextEventAt()
+		// A second peek must agree: peeking is side-effect-free.
+		at2, ok2 := e.NextEventAt()
+		if at != at2 || ok != ok2 {
+			t.Fatalf("peek not idempotent: (%v,%v) then (%v,%v)", at, ok, at2, ok2)
+		}
+		if !ok {
+			if e.Step() {
+				t.Fatal("peek said quiescent but Step advanced")
+			}
+			break
+		}
+		if !e.Step() {
+			t.Fatalf("peek said %v but engine was quiescent", at)
+		}
+		if now := e.NowF(); now != at {
+			t.Fatalf("stepped to %v, peek promised %v", now, at)
+		}
+	}
+}
+
+// TestNextEventAtQuiescent: a fresh engine has no next event.
+func TestNextEventAtQuiescent(t *testing.T) {
+	e := NewEngine(1, nil)
+	if at, ok := e.NextEventAt(); ok {
+		t.Fatalf("idle engine peeked %v", at)
+	}
+}
+
+// TestNextEventAtCancelledTimer: a cancelled timer at the heap top must not
+// surface as the next event.
+func TestNextEventAtCancelledTimer(t *testing.T) {
+	e := NewEngine(1, nil)
+	tm := e.After(100, func() { t.Fatal("cancelled timer fired") })
+	e.After(250, func() {})
+	tm.Cancel()
+	at, ok := e.NextEventAt()
+	if !ok || at != 250 {
+		t.Fatalf("peek = (%v, %v), want (250, true)", at, ok)
+	}
+}
+
+// TestClusterInterleavesInTimeOrder: cluster steps advance engines in global
+// event-time order with ties to the lowest index, and every engine's clock
+// stays at or before the last step's time.
+func TestClusterInterleavesInTimeOrder(t *testing.T) {
+	a, b, c := NewEngine(1, nil), NewEngine(1, nil), NewEngine(1, nil)
+	var fired []int
+	// a: events at 100, 300; b: 200, 400; c: 100 (ties with a's first —
+	// lowest index wins, so a fires before c).
+	a.After(100, func() { fired = append(fired, 0) })
+	a.After(300, func() { fired = append(fired, 0) })
+	b.After(200, func() { fired = append(fired, 1) })
+	b.After(400, func() { fired = append(fired, 1) })
+	c.After(100, func() { fired = append(fired, 2) })
+
+	cl := NewCluster(a, b, c)
+	if cl.Len() != 3 || cl.Engine(1) != b {
+		t.Fatal("cluster accessors broken")
+	}
+	prev := 0.0
+	for {
+		idx, at, ok := cl.Peek()
+		if !ok {
+			break
+		}
+		if at < prev {
+			t.Fatalf("cluster time went backwards: %v after %v", at, prev)
+		}
+		prev = at
+		sidx, sok := cl.Step()
+		if !sok || sidx != idx {
+			t.Fatalf("Step advanced engine %d, Peek promised %d", sidx, idx)
+		}
+		for i := 0; i < cl.Len(); i++ {
+			if now := cl.Engine(i).NowF(); now > at {
+				t.Fatalf("engine %d clock %v ran past step time %v", i, now, at)
+			}
+		}
+	}
+	want := []int{0, 2, 1, 0, 1}
+	if len(fired) != len(want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v (tie must break to lowest index)", fired, want)
+		}
+	}
+	if idx, ok := cl.Step(); ok || idx != -1 {
+		t.Fatalf("drained cluster stepped engine %d", idx)
+	}
+}
+
+// TestClusterInjectBeforeStep: work injected at time t before the cluster
+// steps past t gets an exact deadline — the invariant the fleet driver's
+// injection discipline relies on.
+func TestClusterInjectBeforeStep(t *testing.T) {
+	a, b := NewEngine(1, nil), NewEngine(1, nil)
+	a.After(500, func() {})
+	b.After(800, func() {})
+	cl := NewCluster(a, b)
+
+	_, at, ok := cl.Peek()
+	if !ok || at != 500 {
+		t.Fatalf("peek = (%v, %v), want (500, true)", at, ok)
+	}
+	// 450 <= global min next event, so either engine can take it exactly.
+	var firedAt float64
+	b.At(450, func() { firedAt = b.NowF() })
+	for {
+		if _, ok := cl.Step(); !ok {
+			break
+		}
+	}
+	if firedAt != 450 {
+		t.Fatalf("injected timer fired at %v, want exactly 450", firedAt)
+	}
+}

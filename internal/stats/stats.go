@@ -172,13 +172,15 @@ func Summarize(xs []float64) Summary {
 
 // Percentile returns the p-th percentile (0..100) of xs using linear
 // interpolation between order statistics, matching the conventional
-// definition used for latency distributions. xs need not be sorted; NaN
-// samples are dropped (they have no rank), and 0 is returned when nothing
-// remains.
+// definition used for latency distributions. xs need not be sorted. Like
+// every aggregate in this package it is defined over the finite samples
+// only: NaN and ±Inf are dropped (a +Inf sample would otherwise pin every
+// upper tail quantile at +Inf and poison interpolated ranks with NaN), and
+// 0 is returned when nothing remains.
 func Percentile(xs []float64, p float64) float64 {
 	sorted := make([]float64, 0, len(xs))
 	for _, x := range xs {
-		if !math.IsNaN(x) {
+		if isFinite(x) {
 			sorted = append(sorted, x)
 		}
 	}
@@ -187,6 +189,29 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	sort.Float64s(sorted)
 	return PercentileSorted(sorted, p)
+}
+
+// Tail returns the given percentiles of xs in one pass: one finite-sample
+// filter and sort shared across all quantiles, for callers (SLA ladders,
+// fleet SLO reports) that read p50/p99/p99.9/max off the same distribution.
+// The result is index-aligned with ps; every entry is 0 when no finite
+// samples remain.
+func Tail(xs []float64, ps ...float64) []float64 {
+	sorted := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if isFinite(x) {
+			sorted = append(sorted, x)
+		}
+	}
+	sort.Float64s(sorted)
+	out := make([]float64, len(ps))
+	if len(sorted) == 0 {
+		return out
+	}
+	for i, p := range ps {
+		out[i] = PercentileSorted(sorted, p)
+	}
+	return out
 }
 
 // PercentileSorted is Percentile over an already-sorted, NaN-free slice,

@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// Extreme-tail quantile audit: the fleet's SLO report reads p99/p99.9 off
+// latency distributions that can legitimately contain a handful of enormous
+// samples (a request queued behind a full GC) and, before the finite-sample
+// fix, could contain ±Inf from degenerate rate math. These properties pin
+// the quantile semantics the SLA ladder depends on.
+
+// naivePercentile is an independent reference implementation: sort, linear
+// interpolation between order statistics.
+func naivePercentile(xs []float64, p float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+func TestPercentileMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 1e6
+		}
+		for _, p := range []float64{0, 1, 25, 50, 75, 90, 99, 99.9, 99.99, 100} {
+			got := Percentile(xs, p)
+			want := naivePercentile(xs, p)
+			if math.Abs(got-want) > 1e-6*math.Max(1, math.Abs(want)) {
+				t.Fatalf("p%v of %v = %v, reference %v", p, xs, got, want)
+			}
+		}
+	}
+}
+
+// TestPercentileMonotoneInP: for any sample set, the quantile function is
+// non-decreasing in p all the way into the extreme tail.
+func TestPercentileMonotoneInP(t *testing.T) {
+	f := func(xs []float64) bool {
+		prev := math.Inf(-1)
+		any := false
+		for _, x := range xs {
+			if isFinite(x) {
+				any = true
+			}
+		}
+		if !any {
+			return true
+		}
+		for _, p := range []float64{0, 10, 50, 90, 99, 99.9, 99.99, 100, 150} {
+			q := Percentile(xs, p)
+			if q < prev {
+				return false
+			}
+			prev = q
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPercentileExtremeTail: p100 is the max, p≥100 clamps, and with n
+// samples p99.9 lands between the two largest order statistics.
+func TestPercentileExtremeTail(t *testing.T) {
+	xs := []float64{5, 1, 9, 3, 1e12, 7} // one catastrophic outlier
+	if got := Percentile(xs, 100); got != 1e12 {
+		t.Fatalf("p100 = %v, want the max", got)
+	}
+	if got := Percentile(xs, 250); got != 1e12 {
+		t.Fatalf("p250 = %v, want clamped to max", got)
+	}
+	p999 := Percentile(xs, 99.9)
+	if p999 <= 9 || p999 > 1e12 {
+		t.Fatalf("p99.9 = %v, want within (second-largest, max]", p999)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("p0 = %v, want the min", got)
+	}
+	if got := Percentile([]float64{3, 1}, 50); got != 2 {
+		t.Fatalf("median of {1,3} = %v, want interpolated 2", got)
+	}
+}
+
+// TestPercentileDropsNonFinite is the regression test for the audit's bug: a
+// single +Inf latency sample (a degenerate rate division upstream) used to
+// pin every upper quantile at +Inf and poison interpolated ranks with NaN.
+func TestPercentileDropsNonFinite(t *testing.T) {
+	finite := []float64{1, 2, 3, 4, 5}
+	polluted := append([]float64{math.Inf(1), math.Inf(-1), math.NaN()}, finite...)
+	for _, p := range []float64{0, 50, 99, 99.9, 100} {
+		got := Percentile(polluted, p)
+		want := Percentile(finite, p)
+		if got != want {
+			t.Fatalf("p%v with non-finite pollution = %v, want %v", p, got, want)
+		}
+	}
+	if got := Percentile([]float64{math.Inf(1), math.NaN()}, 99); got != 0 {
+		t.Fatalf("all-non-finite p99 = %v, want 0", got)
+	}
+}
+
+// TestTailAlignsWithPercentile: Tail's shared-sort fast path must agree with
+// independent Percentile calls, index-aligned with its ps.
+func TestTailAlignsWithPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 1e6
+	}
+	xs[17] = math.Inf(1) // pollution must be dropped identically
+	ps := []float64{50, 90, 99, 99.9, 100}
+	got := Tail(xs, ps...)
+	if len(got) != len(ps) {
+		t.Fatalf("Tail returned %d values for %d ps", len(got), len(ps))
+	}
+	for i, p := range ps {
+		if want := Percentile(xs, p); got[i] != want {
+			t.Fatalf("Tail p%v = %v, Percentile = %v", p, got[i], want)
+		}
+	}
+	if empty := Tail(nil, 50, 99); empty[0] != 0 || empty[1] != 0 {
+		t.Fatalf("Tail of nothing = %v, want zeros", empty)
+	}
+}

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"chopin/internal/sim"
 )
@@ -25,13 +26,44 @@ import (
 // idle workers are kicked through the collector's Alloc path, which defers
 // across stop-the-world pauses.
 
+// ErrOpenLoopConfig reports a degenerate open-loop arrival schedule: a
+// configuration whose computed inter-arrival interval is not a positive
+// finite duration (zero events, a non-finite or negative headroom). It is a
+// configuration error, typed so sweeps can distinguish it from simulation
+// failures.
+type ErrOpenLoopConfig struct {
+	Workload string
+	Events   int
+	Headroom float64
+	Reason   string
+}
+
+func (e *ErrOpenLoopConfig) Error() string {
+	return fmt.Sprintf("%s: degenerate open-loop schedule (events=%d, headroom=%v): %s",
+		e.Workload, e.Events, e.Headroom, e.Reason)
+}
+
+// minOpenLoopIntervalNS floors the inter-arrival interval at one virtual
+// nanosecond. A tiny-but-positive headroom on a small PET can otherwise
+// schedule sub-nanosecond arrivals, which truncate to the same integer
+// timestamp and degrade the engine into a zero-dt event storm.
+const minOpenLoopIntervalNS = 1.0
+
+// olItem is one queued open-loop arrival: its arrival time and caller-chosen
+// identity. The runner's own schedule numbers arrivals 0..events-1; a fleet
+// driver injecting arrivals assigns fleet-wide request IDs.
+type olItem struct {
+	at sim.Time
+	id int32
+}
+
 // openLoopState is the runner's open-loop machinery, allocated once per run
 // and reused across iterations: the FIFO arrival queue (a slice with a head
 // index, compacted when drained so the backing array stabilizes at the peak
 // backlog), the per-worker busy flags, and the single arrival callback every
 // timer shares.
 type openLoopState struct {
-	queue     []sim.Time // arrival times of queued requests; FIFO from head
+	queue     []olItem // queued arrivals; FIFO from head
 	head      int
 	busy      []bool // indexed by worker position in runner.workers
 	arrived   int
@@ -50,10 +82,21 @@ type openLoopState struct {
 func (r *runner) openLoopArrival() {
 	ol := &r.ol
 	ol.arrived++
-	ol.queue = append(ol.queue, r.eng.Now())
+	ol.queue = append(ol.queue, olItem{at: r.eng.Now(), id: int32(ol.arrived - 1)})
 	if ol.arrived < r.events {
 		r.eng.At(ol.startF+float64(ol.arrived)*ol.intervalNS, ol.arrivalFn)
 	}
+	r.dispatchOpenLoop()
+}
+
+// injectArrival is the externally driven arrival path (fleet replicas): one
+// request with a caller-assigned ID joins the queue at the current virtual
+// time, exactly as a scheduled arrival would, but nothing further is armed —
+// the driver owns the schedule.
+func (r *runner) injectArrival(id int32) {
+	ol := &r.ol
+	ol.arrived++
+	ol.queue = append(ol.queue, olItem{at: r.eng.Now(), id: id})
 	r.dispatchOpenLoop()
 }
 
@@ -76,7 +119,7 @@ func (r *runner) dispatchOpenLoop() {
 		if widx < 0 {
 			return
 		}
-		arrival := ol.queue[ol.head]
+		item := ol.queue[ol.head]
 		ol.head++
 		if ol.head == len(ol.queue) {
 			ol.queue = ol.queue[:0]
@@ -87,17 +130,24 @@ func (r *runner) dispatchOpenLoop() {
 		f.w = r.workers[widx]
 		f.idx = widx
 		f.open = true
-		f.start = arrival
+		f.start = item.at
+		f.olID = item.id
 		f.begin()
 	}
 }
 
 // completeOpen finishes an open-loop event: latency runs from arrival to
-// completion, the worker frees up, and the queue re-dispatches.
+// completion, the worker frees up, and the queue re-dispatches. The
+// onComplete hook (fleet replicas) observes the completion before the next
+// dispatch, so a driver draining completions after a step sees them in
+// completion order.
 func (f *eventFrame) completeOpen() {
 	r := f.r
 	if r.recording {
 		r.latencies = append(r.latencies, Event{Start: f.start, End: r.eng.Now()})
+	}
+	if r.onComplete != nil {
+		r.onComplete(f.olID, f.start, r.eng.Now())
 	}
 	r.ol.completed++
 	r.ol.busy[f.idx] = false
@@ -105,9 +155,43 @@ func (f *eventFrame) completeOpen() {
 	r.dispatchOpenLoop()
 }
 
+// openLoopInterval computes the iteration's inter-arrival interval — events
+// spread uniformly across the workload's nominal duration, stretched by any
+// headroom — guarding the degenerate schedules a raw division admits: zero
+// events divide to +Inf, a NaN/Inf headroom poisons every deadline, and a
+// vanishing product schedules sub-nanosecond arrivals (clamped to the 1ns
+// floor).
+func (r *runner) openLoopInterval() (float64, error) {
+	if r.events <= 0 {
+		return 0, &ErrOpenLoopConfig{r.d.Name, r.events, r.cfg.OpenLoopHeadroom,
+			"no events to schedule"}
+	}
+	h := r.cfg.OpenLoopHeadroom
+	if h != 0 && (math.IsNaN(h) || math.IsInf(h, 0) || h < 0) {
+		return 0, &ErrOpenLoopConfig{r.d.Name, r.events, h,
+			"headroom must be a finite non-negative factor"}
+	}
+	intervalNS := r.d.PETSeconds * 1e9 / float64(r.events)
+	if h > 0 {
+		intervalNS *= h
+	}
+	if math.IsNaN(intervalNS) || math.IsInf(intervalNS, 0) || intervalNS <= 0 {
+		return 0, &ErrOpenLoopConfig{r.d.Name, r.events, h,
+			fmt.Sprintf("computed interval %v ns is not a positive finite duration", intervalNS)}
+	}
+	if intervalNS < minOpenLoopIntervalNS {
+		intervalNS = minOpenLoopIntervalNS
+	}
+	return intervalNS, nil
+}
+
 // runOpenLoopIteration executes one iteration with scheduled arrivals at the
 // workload's nominal rate (events spread uniformly over PET seconds).
 func (r *runner) runOpenLoopIteration(iter int) (IterationResult, error) {
+	intervalNS, err := r.openLoopInterval()
+	if err != nil {
+		return IterationResult{}, err
+	}
 	r.iter = iter
 	r.recording = iter == r.cfg.Iterations-1 &&
 		(r.d.LatencySensitive || r.cfg.RecordLatency)
@@ -121,12 +205,6 @@ func (r *runner) runOpenLoopIteration(iter int) (IterationResult, error) {
 	alloc0 := r.h.TotalAllocated()
 	kern0 := r.kernelCPU()
 
-	// Arrival schedule: r.events arrivals spread uniformly across the
-	// iteration's nominal duration.
-	intervalNS := r.d.PETSeconds * 1e9 / float64(r.events)
-	if r.cfg.OpenLoopHeadroom > 0 {
-		intervalNS *= r.cfg.OpenLoopHeadroom
-	}
 	ol := &r.ol
 	ol.queue = ol.queue[:0]
 	ol.head = 0
@@ -141,9 +219,7 @@ func (r *runner) runOpenLoopIteration(iter int) (IterationResult, error) {
 	ol.startF = r.eng.NowF()
 	ol.intervalNS = intervalNS
 
-	if r.events > 0 {
-		r.eng.At(ol.startF, ol.arrivalFn) // arrival 0; each arrival arms the next
-	}
+	r.eng.At(ol.startF, ol.arrivalFn) // arrival 0; each arrival arms the next
 	if err := r.eng.Run(); err != nil {
 		return IterationResult{}, fmt.Errorf("%s: %w", r.d.Name, err)
 	}

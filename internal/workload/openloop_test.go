@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"chopin/internal/gc"
+)
+
+// intervalFor runs the interval computation the way runOpenLoopIteration
+// does, with only the fields it reads populated.
+func intervalFor(t *testing.T, events int, headroom float64) (float64, error) {
+	t.Helper()
+	d := MicroPauseProbe
+	r := &runner{
+		d:      d,
+		cfg:    RunConfig{OpenLoopHeadroom: headroom},
+		events: events,
+	}
+	return r.openLoopInterval()
+}
+
+// TestOpenLoopIntervalGuards is the regression suite for the degenerate
+// schedules the raw PET/events division used to admit: zero events divided to
+// +Inf (and the first arrival timer then never fired, hanging the iteration),
+// and a non-finite headroom poisoned every deadline with NaN.
+func TestOpenLoopIntervalGuards(t *testing.T) {
+	cases := []struct {
+		name     string
+		events   int
+		headroom float64
+		reason   string
+	}{
+		{"zero events", 0, 0, "no events"},
+		{"negative events", -3, 0, "no events"},
+		{"NaN headroom", 100, math.NaN(), "finite non-negative"},
+		{"+Inf headroom", 100, math.Inf(1), "finite non-negative"},
+		{"-Inf headroom", 100, math.Inf(-1), "finite non-negative"},
+		{"negative headroom", 100, -0.5, "finite non-negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := intervalFor(t, tc.events, tc.headroom)
+			var cfgErr *ErrOpenLoopConfig
+			if !errors.As(err, &cfgErr) {
+				t.Fatalf("err = %v, want *ErrOpenLoopConfig", err)
+			}
+			if cfgErr.Events != tc.events || cfgErr.Workload != MicroPauseProbe.Name {
+				t.Fatalf("error fields = %+v", cfgErr)
+			}
+			if !strings.Contains(cfgErr.Error(), tc.reason) {
+				t.Fatalf("error %q does not explain %q", cfgErr, tc.reason)
+			}
+		})
+	}
+}
+
+// TestOpenLoopIntervalValues: the healthy path divides PET over events,
+// stretches by headroom, and clamps to the 1ns floor instead of scheduling a
+// sub-nanosecond event storm.
+func TestOpenLoopIntervalValues(t *testing.T) {
+	d := MicroPauseProbe
+	nominal := d.PETSeconds * 1e9 / 1000
+
+	got, err := intervalFor(t, 1000, 0)
+	if err != nil || got != nominal {
+		t.Fatalf("interval = %v, %v; want %v", got, err, nominal)
+	}
+	got, err = intervalFor(t, 1000, 2.5)
+	if err != nil || got != nominal*2.5 {
+		t.Fatalf("stretched interval = %v, %v; want %v", got, err, nominal*2.5)
+	}
+	// A vanishing headroom would schedule ~1e-10 ns arrivals: clamp, don't
+	// storm.
+	got, err = intervalFor(t, 1000, 1e-16)
+	if err != nil || got != 1.0 {
+		t.Fatalf("clamped interval = %v, %v; want the 1ns floor", got, err)
+	}
+}
+
+// TestOpenLoopZeroEventsRunErrors: end-to-end, a zero-event open-loop run
+// must fail fast — before these guards it hung on an arrival timer scheduled
+// at +Inf. Descriptor validation is the outer layer and rejects the schedule
+// first; the typed interval guard covers paths that bypass Validate (direct
+// runner drivers).
+func TestOpenLoopZeroEventsRunErrors(t *testing.T) {
+	d := *MicroPauseProbe
+	d.Events = 0
+	_, err := Run(&d, RunConfig{
+		HeapMB:     2 * d.MinHeapMB,
+		Collector:  gc.G1,
+		Iterations: 1,
+		Seed:       1,
+		OpenLoop:   true,
+	})
+	if err == nil || !strings.Contains(err.Error(), "events") {
+		t.Fatalf("err = %v, want a zero-events rejection", err)
+	}
+}
+
+// TestOpenLoopBadHeadroomRunErrors: same end-to-end guard for a poisoned
+// headroom factor.
+func TestOpenLoopBadHeadroomRunErrors(t *testing.T) {
+	for _, h := range []float64{math.NaN(), math.Inf(1), -1} {
+		_, err := Run(MicroPauseProbe, RunConfig{
+			HeapMB:           2 * MicroPauseProbe.MinHeapMB,
+			Collector:        gc.G1,
+			Iterations:       1,
+			Events:           200,
+			Seed:             1,
+			OpenLoop:         true,
+			OpenLoopHeadroom: h,
+		})
+		var cfgErr *ErrOpenLoopConfig
+		if !errors.As(err, &cfgErr) {
+			t.Fatalf("headroom %v: err = %v, want *ErrOpenLoopConfig", h, err)
+		}
+	}
+}

@@ -145,6 +145,12 @@ type runner struct {
 	recording bool
 	latencies []Event
 
+	// onComplete, when set, observes every open-loop completion with the
+	// arrival's caller-assigned ID (see runner.injectArrival) — the seam a
+	// fleet replica hangs its bookkeeping on. The hook runs inside the
+	// completion callback and must not re-enter the runner.
+	onComplete func(id int32, start, end sim.Time)
+
 	// freeFrames recycles event continuation frames (see eventFrame): the
 	// steady-state invocation path allocates nothing per event.
 	freeFrames *eventFrame
@@ -167,6 +173,7 @@ type eventFrame struct {
 	sliceCost  float64
 	start      sim.Time // claim time (closed loop) or arrival time (open loop)
 	idx        int      // event index (closed loop); worker index (open loop)
+	olID       int32    // open loop: the arrival's caller-assigned identity
 	open       bool     // which completion discipline applies
 	next       *eventFrame
 
@@ -266,8 +273,12 @@ func (f *eventFrame) complete() {
 	r.startNext(w)
 }
 
-// Run executes the workload under cfg and returns its measurements.
-func Run(d *Descriptor, cfg RunConfig) (*Result, error) {
+// newRunner performs the whole invocation setup — config defaulting,
+// engine/heap/collector construction, RNG seeding, worker registration,
+// sampler attachment — shared verbatim by Run and by fleet replicas
+// (NewReplica), so a replica's simulation state is bit-identical to a
+// standalone invocation's at iteration start.
+func newRunner(d *Descriptor, cfg RunConfig) (*runner, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -349,8 +360,18 @@ func Run(d *Descriptor, cfg RunConfig) (*Result, error) {
 			StallNS:      func() float64 { return log.StallNS },
 		}).Attach(eng)
 	}
+	return r, nil
+}
 
-	res := &Result{Workload: d.Name, Config: cfg, Log: log}
+// Run executes the workload under cfg and returns its measurements.
+func Run(d *Descriptor, cfg RunConfig) (*Result, error) {
+	r, err := newRunner(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg = r.cfg // normalized defaults (machine, iterations)
+
+	res := &Result{Workload: d.Name, Config: cfg, Log: r.log}
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		var it IterationResult
 		var err error
@@ -365,7 +386,7 @@ func Run(d *Descriptor, cfg RunConfig) (*Result, error) {
 		res.Iterations = append(res.Iterations, it)
 	}
 	res.Events = r.latencies
-	res.GCCPUNS = col.GCCPU()
+	res.GCCPUNS = r.col.GCCPU()
 	res.MutatorCPUNS = r.mutatorCPU()
 	return res, nil
 }
