@@ -12,7 +12,11 @@ tier1-race:
 	go vet ./...
 	go test -race ./...
 	go run ./cmd/fleet -bench micro-pauseprobe -replicas 1,2 -rates 1,2 \
-		-lb round-robin,gc-aware -events 300 > /dev/null
+		-lb round-robin,gc-aware -events 300 \
+		-telemetry fleet-smoke.jsonl -trace-out fleet-smoke.trace.json \
+		-timeline > /dev/null
+	go run ./cmd/obsreport -fleet fleet-smoke.jsonl > /dev/null
+	rm -f fleet-smoke.jsonl fleet-smoke.trace.json
 
 .PHONY: test
 test:
@@ -20,8 +24,12 @@ test:
 
 # Hot-path microbenchmarks: the scheduler (BenchmarkEngine*, internal/sim),
 # the end-to-end invocation path (BenchmarkRunInvocation*, root package, one
-# sub-benchmark per collector), and the whole-suite batch-execution path
-# (BenchmarkFullSuite, workers=1 vs workers=8). Each benchmark runs five
+# sub-benchmark per collector), the whole-suite batch-execution path
+# (BenchmarkFullSuite, workers=1 vs workers=8), and the fleet layer
+# (BenchmarkFleetSweep plus BenchmarkFleetTelemetry, which prices request
+# tracing recorder-on vs -off and gates the disabled hooks at 0 allocs/op;
+# it gets its own -benchtime so the µs-scale hook bench self-iterates to a
+# stable ns/op instead of one cold N=1 sample). Each benchmark runs five
 # times and benchjson records the per-metric median, so the committed
 # BENCH_sim.json baseline is median-of-five — directly comparable to the
 # median-of-five gate runs and robust to scheduler noise on loaded hosts.
@@ -32,7 +40,9 @@ bench:
 	  go test -run='^$$' -bench='BenchmarkRunInvocation' -benchmem -count=5 . && \
 	  go test -run='^$$' -bench='BenchmarkFullSuite' -benchtime=1x -count=5 . && \
 	  go test -run='^$$' -bench='BenchmarkFleetSweep' -benchtime=1x -count=5 \
-		./internal/fleet ) \
+		./internal/fleet && \
+	  go test -run='^$$' -bench='BenchmarkFleetTelemetry' -benchtime=200ms \
+		-count=5 ./internal/fleet ) \
 		| go run ./cmd/benchjson -out BENCH_sim.json
 
 # Statistical perf-regression gate: run the hot-path microbenchmarks five
@@ -49,7 +59,9 @@ bench-gate:
 	  go test -run='^$$' -bench='BenchmarkRunInvocation' -benchmem -count=5 . && \
 	  go test -run='^$$' -bench='BenchmarkFullSuite' -benchtime=1x -count=5 . && \
 	  go test -run='^$$' -bench='BenchmarkFleetSweep' -benchtime=1x -count=5 \
-		./internal/fleet ) \
+		./internal/fleet && \
+	  go test -run='^$$' -bench='BenchmarkFleetTelemetry' -benchtime=200ms \
+		-count=5 ./internal/fleet ) \
 		| tee bench-gate.txt
 	go run ./cmd/benchdiff -threshold 0.10 BENCH_sim.json bench-gate.txt
 	go run ./cmd/benchjson -out /dev/null -scaling-min auto < bench-gate.txt > /dev/null

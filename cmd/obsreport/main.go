@@ -18,6 +18,7 @@
 //	obsreport -trace-out run.trace.json run.jsonl
 //	obsreport -timeline run.jsonl
 //	obsreport -sched run.jsonl                  # pool utilization table
+//	obsreport -fleet fleet.jsonl                # request blame + retry forensics
 package main
 
 import (
@@ -70,6 +71,8 @@ func main() {
 		timeline        = flag.Bool("timeline", false, "render a terminal span timeline per run")
 		timelineWidth   = flag.Int("timeline-width", 72, "timeline bar width in cells")
 		sched           = flag.Bool("sched", false, "render the engine's scheduler-utilization table (per-worker busy/steal/park, lane occupancy)")
+		fleetTables     = flag.Bool("fleet", false, "render fleet request forensics (blame totals, slowest requests, per-replica correlation, retry storms)")
+		fleetTop        = flag.Int("fleet-top", 5, "how many slowest requests -fleet lists per run")
 	)
 	flag.Parse()
 
@@ -90,7 +93,7 @@ func main() {
 	var total, skipped, samples int
 	// Span folding needs the whole (filtered) stream in memory; only pay
 	// for it when an export was requested.
-	wantSpans := *traceOut != "" || *timeline
+	wantSpans := *traceOut != "" || *timeline || *fleetTables
 	var kept []obs.Event
 	var schedEvents []obs.Event
 
@@ -190,6 +193,11 @@ func main() {
 		fmt.Printf(", %d samples", samples)
 	}
 	fmt.Println()
+	if info.Unknown > 0 {
+		// Count-and-skip keeps old readers working on streams written by
+		// newer builds; say what was skipped so gaps aren't mysterious.
+		fmt.Printf("  %d event(s) of unknown kind skipped (stream written by a newer build?)\n", info.Unknown)
+	}
 
 	if len(phases) > 0 {
 		fmt.Println("\nGC phase breakdown (telemetry sums reproduce the run's log totals):")
@@ -246,7 +254,17 @@ func main() {
 		}
 	}
 
-	if wantSpans {
+	if *fleetTables {
+		fts := span.BuildFleet(kept)
+		if len(fts) == 0 {
+			fmt.Println("\nno fleet telemetry in stream (capture with: fleet -bench ... -telemetry file.jsonl)")
+		}
+		for _, ft := range fts {
+			renderFleet(ft, *fleetTop)
+		}
+	}
+
+	if *traceOut != "" || *timeline {
 		trees := span.Build(kept)
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
@@ -260,6 +278,62 @@ func main() {
 			fmt.Println()
 			check(traceview.WriteTimeline(os.Stdout, trees, *timelineWidth))
 		}
+	}
+}
+
+// renderFleet prints one fleet run's forensic tables: the blame-decomposed
+// latency totals, the slowest requests, the per-replica pause/traffic
+// correlation, and — when the run retried — the retry-storm summary.
+func renderFleet(ft *span.FleetTrace, top int) {
+	name := ft.Run
+	if name == "" {
+		name = "(fleet)"
+	}
+	fmt.Printf("\nfleet run %s (%s/%s): %d replicas, %d requests, %d routes, %d retries\n",
+		name, ft.Benchmark, ft.Collector, len(ft.Replicas), len(ft.Requests), len(ft.Routes), len(ft.Retries))
+	if len(ft.Requests) == 0 {
+		return
+	}
+
+	bt := span.SumBlame(ft.Requests)
+	pct := func(ns int64) string {
+		if bt.E2ENS == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f%%", 100*float64(ns)/float64(bt.E2ENS))
+	}
+	fmt.Println("\nwhere the latency went (blame components sum exactly to end-to-end):")
+	t := report.NewTable("component", "total_ms", "share")
+	t.AddRowf("queueing", float64(bt.QueueNS)/1e6, pct(bt.QueueNS))
+	t.AddRowf("gc pauses", float64(bt.GCNS)/1e6, pct(bt.GCNS))
+	t.AddRowf("service", float64(bt.ServNS)/1e6, pct(bt.ServNS))
+	t.AddRowf("retry overhead", float64(bt.RetryNS)/1e6, pct(bt.RetryNS))
+	t.AddRowf("end-to-end", float64(bt.E2ENS)/1e6, "100.0%")
+	t.Render(os.Stdout)
+
+	fmt.Printf("\ntop %d slowest requests:\n", top)
+	t = report.NewTable("id", "replica", "attempts", "e2e_ms", "queue_ms", "gc_ms", "service_ms", "retry_ms", "pauses")
+	for _, q := range span.TopSlowest(ft.Requests, top) {
+		t.AddRowf(q.ID, q.Replica, q.Attempts,
+			float64(q.E2ENS)/1e6, float64(q.QueueNS)/1e6, float64(q.GCNS)/1e6,
+			float64(q.ServNS)/1e6, float64(q.RetryNS)/1e6, q.GCPauses)
+	}
+	t.Render(os.Stdout)
+
+	fmt.Println("\nper-replica pause/traffic correlation:")
+	t = report.NewTable("replica", "routed", "served", "retries", "pauses", "stw_ms", "blamed_gc_ms", "queue_ms", "mean_e2e_ms")
+	for _, c := range span.CorrelateReplicas(ft) {
+		t.AddRowf(c.Index, c.Routes, c.Requests, c.Retries, c.Pauses,
+			float64(c.PauseNS)/1e6, float64(c.BlamedGCNS)/1e6,
+			float64(c.QueueNS)/1e6, c.MeanE2ENS/1e6)
+	}
+	t.Render(os.Stdout)
+
+	if len(ft.Retries) > 0 {
+		st := span.SummarizeRetries(ft)
+		fmt.Printf("\nretry forensics: %d retries across %d request(s), max depth %d; worst window [%.0fms, %.0fms) saw %d\n",
+			st.Total, st.Unique, st.MaxDepth,
+			float64(st.PeakWindowStart)/1e6, float64(st.PeakWindowStart+st.WindowNS)/1e6, st.PeakCount)
 	}
 }
 

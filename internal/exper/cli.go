@@ -33,6 +33,12 @@ type CLI struct {
 	Trace     string
 	JobTraces string
 
+	// Extra, when non-nil, receives every telemetry event alongside (or
+	// instead of) the -telemetry sink. Commands set an obs.Buffer here to
+	// keep a run's events in memory for post-run rendering — cmd/fleet's
+	// -timeline and -trace-out flags work this way.
+	Extra obs.Recorder
+
 	eng       *Engine
 	telem     *obs.JSONL
 	telemFile *os.File
@@ -91,7 +97,16 @@ func (c *CLI) Build(w io.Writer, prefix string) (*Engine, error) {
 		}
 		c.telemFile = f
 		c.telem = obs.NewJSONL(f)
-		opt.Recorder = c.telem
+	}
+	var recs []obs.Recorder
+	if c.telem != nil {
+		recs = append(recs, c.telem)
+	}
+	if c.Extra != nil {
+		recs = append(recs, c.Extra)
+	}
+	if rec := obs.Multi(recs...); rec.Enabled() {
+		opt.Recorder = rec
 	}
 	if c.Trace != "" {
 		f, err := os.Create(c.Trace)

@@ -169,6 +169,15 @@ func drive(d *workload.Descriptor, cfg Config, rec obs.Recorder) ([]*workload.Re
 	for i := range reps {
 		rcfg := cfg.Run
 		rcfg.Seed += uint64(i) * replicaSeedStride
+		if rec.Enabled() && rcfg.Recorder == nil {
+			// Give each replica engine its own stamped recorder, so GC and
+			// sampling telemetry emitted from inside the replica merges into
+			// the fleet stream attributed to its replica (the timeline's STW
+			// and load tracks). Recording never perturbs the simulation, so
+			// results stay identical to an unobserved run.
+			rcfg.Recorder = obs.WithRun(obs.WithReplica(rec, i), "", d.Name,
+				rcfg.Collector.String())
+		}
 		rp, err := workload.NewReplica(d, rcfg, i)
 		if err != nil {
 			return nil, 0, cfg, err
@@ -176,6 +185,12 @@ func drive(d *workload.Descriptor, cfg Config, rec obs.Recorder) ([]*workload.Re
 		reps[i] = rp
 		engines[i] = rp.Engine()
 		backs[i] = rp
+	}
+	// tr stays nil — every tracer method's disabled path is one branch —
+	// unless the run is observed.
+	var tr *tracer
+	if rec.Enabled() {
+		tr = newTracer(rec, d, cfg, reps)
 	}
 
 	// The fleet's mean inter-arrival interval divides the per-replica
@@ -206,6 +221,7 @@ func drive(d *workload.Descriptor, cfg Config, rec obs.Recorder) ([]*workload.Re
 		depth     = make([]int32, cfg.Requests)
 		steps     int64
 		retried   int64
+		lastEnd   int64
 	)
 	if cfg.Requests > 0 {
 		nextArr = proc.next(0)
@@ -228,7 +244,9 @@ func drive(d *workload.Descriptor, cfg Config, rec obs.Recorder) ([]*workload.Re
 			// Inject before the cluster steps past injT: every engine's
 			// clock is still at or before injT, so the arrival timer's
 			// deadline is exact.
-			reps[bal.pick(backs)].InjectAt(injT, injID)
+			dec := bal.pick(backs)
+			tr.route(int64(injT), injID, dec)
+			reps[dec.Replica].InjectAt(injT, injID)
 			if isRetry {
 				retryHead++
 				if retryHead == len(retries) {
@@ -257,8 +275,14 @@ func drive(d *workload.Descriptor, cfg Config, rec obs.Recorder) ([]*workload.Re
 			return nil, 0, cfg, rp.OOMErr()
 		}
 		for _, c := range rp.DrainCompletions() {
+			if c.End > lastEnd {
+				lastEnd = c.End
+			}
 			lat := float64(c.End - c.Start)
-			if cfg.RetryAfterNS > 0 && lat > cfg.RetryAfterNS && depth[c.ID] < int32(cfg.MaxRetries) {
+			willRetry := cfg.RetryAfterNS > 0 && lat > cfg.RetryAfterNS &&
+				depth[c.ID] < int32(cfg.MaxRetries)
+			tr.complete(idx, c, !willRetry)
+			if willRetry {
 				depth[c.ID]++
 				retried++
 				// Re-inject at the step's exact float time (== the
@@ -269,16 +293,18 @@ func drive(d *workload.Descriptor, cfg Config, rec obs.Recorder) ([]*workload.Re
 					rec.Record(obs.Event{
 						Kind:      obs.KindFleetRetry,
 						TNS:       c.End,
-						Run:       d.Name,
+						Benchmark: d.Name,
 						Collector: cfg.Run.Collector.String(),
 						Value:     float64(c.ID),
 						Aux:       float64(depth[c.ID]),
 						DurNS:     lat,
+						Replica:   idx + 1,
 					})
 				}
 			}
 		}
 	}
+	tr.finish(lastEnd)
 
 	if arrIdx < cfg.Requests || retryHead < len(retries) {
 		return nil, 0, cfg, fmt.Errorf("fleet: %s: cluster went quiescent with %d arrivals and %d retries pending",

@@ -47,9 +47,38 @@ type backend interface {
 	Paused() bool
 }
 
+// Decision reasons, stamped onto fleet-route telemetry events so a trace
+// reader can tell a routine pick from an active GC dodge.
+const (
+	// ReasonRoundRobin: the rotation landed here.
+	ReasonRoundRobin = "round-robin"
+	// ReasonLeastOutstanding: fewest outstanding requests.
+	ReasonLeastOutstanding = "least-outstanding"
+	// ReasonGCAware: least outstanding with no replica mid-pause to avoid.
+	ReasonGCAware = "gc-aware"
+	// ReasonGCAwareAvoid: least outstanding among unpaused replicas, with at
+	// least one mid-STW replica routed around (Decision.Avoided counts them).
+	ReasonGCAwareAvoid = "gc-aware-avoid"
+	// ReasonGCAwareFallback: every replica was mid-pause at once, so the
+	// policy degraded to plain least-outstanding — no escape existed.
+	ReasonGCAwareFallback = "gc-aware-fallback"
+)
+
+// Decision is one balancer choice with its explanation: which replica serves
+// the arrival, why, and how many mid-STW replicas were routed around (the
+// "routed away from replica 2 mid-pause" evidence request traces carry).
+type Decision struct {
+	Replica int
+	Reason  string
+	// Avoided counts replicas skipped because they were inside a
+	// stop-the-world pause at decision time (gc-aware only; zero when the
+	// policy had no choice, including the all-paused fallback).
+	Avoided int
+}
+
 // balancer picks the replica to serve the next arrival.
 type balancer interface {
-	pick(reps []backend) int
+	pick(reps []backend) Decision
 }
 
 func newBalancer(p Policy) (balancer, error) {
@@ -66,30 +95,31 @@ func newBalancer(p Policy) (balancer, error) {
 
 type roundRobin struct{ n int }
 
-func (rr *roundRobin) pick(reps []backend) int {
+func (rr *roundRobin) pick(reps []backend) Decision {
 	i := rr.n % len(reps)
 	rr.n++
-	return i
+	return Decision{Replica: i, Reason: ReasonRoundRobin}
 }
 
 type leastOutstanding struct{}
 
-func (leastOutstanding) pick(reps []backend) int {
+func (leastOutstanding) pick(reps []backend) Decision {
 	best := 0
 	for i := 1; i < len(reps); i++ {
 		if reps[i].Outstanding() < reps[best].Outstanding() {
 			best = i
 		}
 	}
-	return best
+	return Decision{Replica: best, Reason: ReasonLeastOutstanding}
 }
 
 type gcAware struct{}
 
-func (gcAware) pick(reps []backend) int {
-	best := -1
+func (gcAware) pick(reps []backend) Decision {
+	best, avoided := -1, 0
 	for i, rp := range reps {
 		if rp.Paused() {
+			avoided++
 			continue
 		}
 		if best < 0 || rp.Outstanding() < reps[best].Outstanding() {
@@ -98,7 +128,12 @@ func (gcAware) pick(reps []backend) int {
 	}
 	if best < 0 {
 		// Whole fleet paused at once: no routing escape, fall back to load.
-		return leastOutstanding{}.pick(reps)
+		d := leastOutstanding{}.pick(reps)
+		return Decision{Replica: d.Replica, Reason: ReasonGCAwareFallback}
 	}
-	return best
+	reason := ReasonGCAware
+	if avoided > 0 {
+		reason = ReasonGCAwareAvoid
+	}
+	return Decision{Replica: best, Reason: reason, Avoided: avoided}
 }

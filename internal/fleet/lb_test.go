@@ -27,8 +27,12 @@ func TestRoundRobinCycles(t *testing.T) {
 	}
 	reps := backends(fakeBackend{}, fakeBackend{}, fakeBackend{})
 	for i := 0; i < 9; i++ {
-		if got := bal.pick(reps); got != i%3 {
-			t.Fatalf("pick %d = %d, want %d", i, got, i%3)
+		got := bal.pick(reps)
+		if got.Replica != i%3 {
+			t.Fatalf("pick %d = %d, want %d", i, got.Replica, i%3)
+		}
+		if got.Reason != ReasonRoundRobin || got.Avoided != 0 {
+			t.Fatalf("pick %d decision = %+v", i, got)
 		}
 	}
 }
@@ -38,12 +42,19 @@ func TestLeastOutstandingPicksMin(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := bal.pick(backends(fakeBackend{out: 4}, fakeBackend{out: 1}, fakeBackend{out: 3})); got != 1 {
-		t.Fatalf("pick = %d, want 1", got)
+	got := bal.pick(backends(fakeBackend{out: 4}, fakeBackend{out: 1}, fakeBackend{out: 3}))
+	if got.Replica != 1 || got.Reason != ReasonLeastOutstanding {
+		t.Fatalf("pick = %+v, want replica 1", got)
 	}
 	// Ties break to the lowest index.
-	if got := bal.pick(backends(fakeBackend{out: 2}, fakeBackend{out: 2})); got != 0 {
-		t.Fatalf("tie pick = %d, want 0", got)
+	if got := bal.pick(backends(fakeBackend{out: 2}, fakeBackend{out: 2})); got.Replica != 0 {
+		t.Fatalf("tie pick = %+v, want replica 0", got)
+	}
+	// Pauses are invisible to the load-only policy: it happily routes into
+	// a paused replica when that one has the least outstanding.
+	got = bal.pick(backends(fakeBackend{out: 9}, fakeBackend{out: 1, paused: true}))
+	if got.Replica != 1 || got.Avoided != 0 {
+		t.Fatalf("pause-blind pick = %+v, want replica 1", got)
 	}
 }
 
@@ -52,22 +63,97 @@ func TestGCAwareRoutesAroundPauses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The least-loaded replica is paused: route to the least-loaded healthy one.
+	// The least-loaded replica is mid-STW: route to the least-loaded healthy
+	// one, and say so — one replica avoided, reason gc-aware-avoid.
 	got := bal.pick(backends(
 		fakeBackend{out: 1, paused: true},
 		fakeBackend{out: 5},
 		fakeBackend{out: 3},
 	))
-	if got != 2 {
-		t.Fatalf("pick = %d, want 2 (least-loaded unpaused)", got)
+	if got.Replica != 2 {
+		t.Fatalf("pick = %+v, want replica 2 (least-loaded unpaused)", got)
 	}
-	// Whole fleet paused: degrade to plain least-outstanding.
-	got = bal.pick(backends(
+	if got.Reason != ReasonGCAwareAvoid || got.Avoided != 1 {
+		t.Fatalf("decision = %+v, want gc-aware-avoid with 1 avoided", got)
+	}
+}
+
+func TestGCAwareNoPausesIsLeastOutstanding(t *testing.T) {
+	bal, err := newBalancer(GCAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing paused: identical choice to least-outstanding, reported as a
+	// routine gc-aware pick with nothing avoided.
+	got := bal.pick(backends(fakeBackend{out: 4}, fakeBackend{out: 0}, fakeBackend{out: 2}))
+	if got.Replica != 1 || got.Reason != ReasonGCAware || got.Avoided != 0 {
+		t.Fatalf("decision = %+v, want replica 1, gc-aware, 0 avoided", got)
+	}
+	// Ties among unpaused replicas break to the lowest index, like
+	// least-outstanding.
+	got = bal.pick(backends(fakeBackend{out: 3}, fakeBackend{out: 3}))
+	if got.Replica != 0 {
+		t.Fatalf("tie decision = %+v, want replica 0", got)
+	}
+}
+
+func TestGCAwareSkipsEveryPausedReplica(t *testing.T) {
+	bal, err := newBalancer(GCAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three of four mid-STW: the sole healthy replica wins regardless of
+	// load, and the decision counts all three dodges.
+	got := bal.pick(backends(
+		fakeBackend{out: 0, paused: true},
+		fakeBackend{out: 0, paused: true},
+		fakeBackend{out: 99},
+		fakeBackend{out: 0, paused: true},
+	))
+	if got.Replica != 2 || got.Reason != ReasonGCAwareAvoid || got.Avoided != 3 {
+		t.Fatalf("decision = %+v, want replica 2, gc-aware-avoid, 3 avoided", got)
+	}
+}
+
+func TestGCAwareAllPausedFallsBack(t *testing.T) {
+	bal, err := newBalancer(GCAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whole fleet paused at once: degrade to plain least-outstanding, and
+	// label the decision a fallback (nothing was avoidable).
+	got := bal.pick(backends(
 		fakeBackend{out: 5, paused: true},
 		fakeBackend{out: 2, paused: true},
 	))
-	if got != 1 {
-		t.Fatalf("all-paused pick = %d, want 1", got)
+	if got.Replica != 1 {
+		t.Fatalf("all-paused pick = %+v, want replica 1", got)
+	}
+	if got.Reason != ReasonGCAwareFallback || got.Avoided != 0 {
+		t.Fatalf("all-paused decision = %+v, want gc-aware-fallback", got)
+	}
+	// Fallback ties also break to the lowest index.
+	got = bal.pick(backends(
+		fakeBackend{out: 7, paused: true},
+		fakeBackend{out: 7, paused: true},
+	))
+	if got.Replica != 0 || got.Reason != ReasonGCAwareFallback {
+		t.Fatalf("all-paused tie decision = %+v, want replica 0 fallback", got)
+	}
+}
+
+// TestGCAwareSingleReplica: with one replica there is never a choice — the
+// decision is the replica, paused or not, with the honest reason.
+func TestGCAwareSingleReplica(t *testing.T) {
+	bal, err := newBalancer(GCAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bal.pick(backends(fakeBackend{out: 3})); got.Replica != 0 || got.Reason != ReasonGCAware {
+		t.Fatalf("decision = %+v", got)
+	}
+	if got := bal.pick(backends(fakeBackend{out: 3, paused: true})); got.Replica != 0 || got.Reason != ReasonGCAwareFallback {
+		t.Fatalf("paused decision = %+v", got)
 	}
 }
 

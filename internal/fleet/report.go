@@ -183,19 +183,20 @@ func recordReport(rec obs.Recorder, d *workload.Descriptor, cfg Config, reps []*
 		rec.Record(obs.Event{
 			Kind:      obs.KindFleetReplica,
 			TNS:       tns,
-			Run:       d.Name,
+			Benchmark: d.Name,
 			Collector: rep.Collector,
 			Value:     float64(rs.Index),
 			Aux:       float64(reps[i].Served()),
 			DurNS:     rs.P99NS,
 			CPUNS:     rs.TaskClockNS,
 			HeapUsed:  rs.HeapPeakMB * (1 << 20),
+			Replica:   rs.Index + 1,
 		})
 	}
 	rec.Record(obs.Event{
 		Kind:      obs.KindFleetReport,
 		TNS:       tns,
-		Run:       d.Name,
+		Benchmark: d.Name,
 		Collector: rep.Collector,
 		Value:     float64(rep.Replicas),
 		Aux:       float64(rep.Completions),

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// futureStream is a fixture stream as a build two schema versions ahead might
+// write it: known events interleaved with kinds ("gc-teleport",
+// "fleet-hologram") and fields ("warp_ns") this binary has never heard of,
+// properly sequenced and cleanly terminated.
+const futureStream = `{"kind":"gc-pause","t_ns":100,"seq":1,"dur_ns":10,"cycle":1}
+{"kind":"gc-teleport","t_ns":150,"seq":2,"warp_ns":5,"dur_ns":3}
+{"kind":"cache-hit","t_ns":200,"seq":3}
+{"kind":"fleet-hologram","t_ns":250,"seq":4,"replica":7,"shimmer":0.5}
+{"kind":"run_end","t_ns":0,"seq":5,"value":4}
+`
+
+// TestDecodeStreamFutureKinds is the forward-compatibility regression test:
+// a stream written by a newer schema decodes with its unknown kinds counted
+// and skipped — never handed to the callback, never failing the decode, and
+// never flagged as an integrity problem.
+func TestDecodeStreamFutureKinds(t *testing.T) {
+	var got []Kind
+	info, err := DecodeStream(strings.NewReader(futureStream), func(e Event) error {
+		got = append(got, e.Kind)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("future stream failed to decode: %v", err)
+	}
+	if info.Unknown != 2 {
+		t.Fatalf("Unknown = %d, want 2", info.Unknown)
+	}
+	if info.Events != 5 {
+		t.Fatalf("Events = %d, want 5 (unknown events still audit)", info.Events)
+	}
+	if !info.Clean || info.Gaps != 0 || info.OutOfOrder != 0 {
+		t.Fatalf("future stream audited %+v, want clean", info)
+	}
+	if werr := info.Err(); werr != nil {
+		t.Fatalf("unknown kinds reported as integrity error: %v", werr)
+	}
+	want := []Kind{KindGCPause, KindCacheHit, KindRunEnd}
+	if len(got) != len(want) {
+		t.Fatalf("callback saw %d events %v, want %v", len(got), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("callback event %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// A dropped line in a future stream must still surface as a gap.
+	lines := strings.SplitAfter(futureStream, "\n")
+	dropped := lines[0] + lines[2] + lines[3] + lines[4]
+	info, err = DecodeStream(strings.NewReader(dropped), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Gaps != 1 {
+		t.Fatalf("dropped future line audited %+v, want 1 gap", info)
+	}
+}
+
+// TestUnknownKindNeverEncodes: KindUnknown is a decode-side sentinel; its
+// name must not round-trip back into a stream as a legal kind.
+func TestUnknownKindNeverEncodes(t *testing.T) {
+	if KindUnknown.String() != "unknown" {
+		t.Fatalf("KindUnknown.String() = %q", KindUnknown.String())
+	}
+	if _, err := ParseKind("unknown"); err == nil {
+		t.Fatal("ParseKind accepted the unknown sentinel as a real kind")
+	}
+}

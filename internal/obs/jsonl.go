@@ -140,6 +140,11 @@ type StreamInfo struct {
 	// Unsequenced counts events with no sequence number at all (streams
 	// written before sequencing, or events hand-built in tests).
 	Unsequenced int64
+	// Unknown counts events whose kind this binary does not know — a stream
+	// written by a newer schema. They are audited for sequence integrity but
+	// not passed to the decode callback; an unknown kind is forward
+	// compatibility at work, not corruption, so Err ignores it.
+	Unknown int64
 }
 
 // Err returns a non-nil error describing the first integrity problem the
@@ -160,7 +165,10 @@ func (s StreamInfo) Err() error {
 // auditing its integrity: sequence-number gaps, reordering, and whether the
 // stream terminates with a clean run_end. The returned StreamInfo is valid
 // even when decoding aborts early (the prefix is audited); fn also receives
-// the terminal run_end event.
+// the terminal run_end event. Events of a kind this binary does not know
+// (KindUnknown after lenient decoding) are counted in info.Unknown and
+// skipped — never handed to fn — so a stream written by a newer schema
+// degrades to partial decoding instead of failure.
 func DecodeStream(r io.Reader, fn func(Event) error) (StreamInfo, error) {
 	var info StreamInfo
 	var lastSeq int64
@@ -177,6 +185,10 @@ func DecodeStream(r io.Reader, fn func(Event) error) (StreamInfo, error) {
 				info.Gaps += e.Seq - lastSeq - 1
 			}
 			lastSeq = e.Seq
+		}
+		if e.Kind == KindUnknown {
+			info.Unknown++
+			return nil
 		}
 		if fn != nil {
 			return fn(e)

@@ -26,7 +26,10 @@
 //     enabled sinks.
 package obs
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Kind classifies a telemetry event.
 type Kind uint8
@@ -100,6 +103,34 @@ const (
 	// p99 latency, CPUNS the fleet task-clock total, StallFrac the host CPU
 	// pressure (task clock over host-core wall capacity).
 	KindFleetReport
+	// KindFleetRoute is one balancer decision: TNS the injection (arrival)
+	// time, Value the request ID, Cycle the attempt number (0 = first try),
+	// Replica the chosen replica, Phase the decision reason (round-robin,
+	// least-outstanding, gc-aware, gc-aware-avoid, gc-aware-fallback), Aux
+	// the number of mid-STW replicas the balancer routed around, InFlight the
+	// chosen replica's outstanding count after the decision.
+	KindFleetRoute
+	// KindFleetRequest is one completed logical request with its exact blame
+	// decomposition: TNS the completion time, Aux the first arrival time,
+	// Value the request ID, Replica the replica that served the final
+	// attempt, Cycle the attempt count (1 = no retries), DurNS the
+	// end-to-end latency, and QueueNS + GCNS + ServiceNS + RetryNS the blame
+	// split, which sums exactly to DurNS. GCPauses counts the distinct STW
+	// pauses the final attempt overlapped.
+	KindFleetRequest
+	// KindFleetWindow is one per-replica sliding-window fleet sample: TNS
+	// the window end, DurNS the window length, Replica the replica, Value
+	// the completions inside the window, Aux the SLO violations among them,
+	// InFlight the replica's in-flight count at the window end, Goodput the
+	// SLO-meeting completions per second, BurnRate the window's SLO burn
+	// rate (violation fraction over the error budget; 1.0 = burning exactly
+	// the budget).
+	KindFleetWindow
+
+	// KindUnknown is the sentinel lenient decoders assign to event kinds
+	// written by a newer schema than this binary understands. It is never
+	// recorded; DecodeStream counts and skips these (StreamInfo.Unknown).
+	KindUnknown Kind = 255
 )
 
 var kindNames = [...]string{
@@ -121,11 +152,17 @@ var kindNames = [...]string{
 	KindFleetReplica: "fleet-replica",
 	KindFleetRetry:   "fleet-retry",
 	KindFleetReport:  "fleet-report",
+	KindFleetRoute:   "fleet-route",
+	KindFleetRequest: "fleet-request",
+	KindFleetWindow:  "fleet-window",
 }
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
 		return kindNames[k]
+	}
+	if k == KindUnknown {
+		return "unknown"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -143,11 +180,15 @@ func ParseKind(s string) (Kind, error) {
 // MarshalText renders the kind by name, so JSONL streams are self-describing.
 func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
 
-// UnmarshalText parses a kind by name.
+// UnmarshalText parses a kind by name. Unlike ParseKind it is lenient: a
+// name this binary does not know (a stream written by a newer schema) decodes
+// as KindUnknown instead of failing, so old readers skip new event kinds
+// rather than rejecting the whole stream (DecodeStream counts them).
 func (k *Kind) UnmarshalText(b []byte) error {
 	kk, err := ParseKind(string(b))
 	if err != nil {
-		return err
+		*k = KindUnknown
+		return nil
 	}
 	*k = kk
 	return nil
@@ -215,6 +256,35 @@ type Event struct {
 	GridTasks   float64 `json:"grid_tasks,omitempty"`
 	Steals      float64 `json:"steals,omitempty"`
 	QueueMax    float64 `json:"queue_max,omitempty"`
+	// Replica identifies which fleet replica the event belongs to, stored
+	// 1-based so replica 0 survives omitempty; zero means "not a fleet
+	// replica event". Stamped by WithReplica on everything a replica's own
+	// engine emits (gc-pause, sample, …) and set directly on fleet-route /
+	// fleet-request / fleet-window events. The span builder partitions by it
+	// so per-replica cycle IDs (each collector counts 1, 2, 3, …) never
+	// collide across a merged fleet stream.
+	Replica int `json:"replica,omitempty"`
+	// Blame fields (KindFleetRequest): the exact integer decomposition of
+	// the request's end-to-end latency. QueueNS is time between the final
+	// attempt's arrival and its dispatch to a worker, net of STW pauses;
+	// GCNS is the STW pause wall time overlapping the final attempt; ServiceNS
+	// is dispatch-to-completion net of pauses (mutator work plus pacer
+	// stalls); RetryNS is everything before the final attempt's arrival
+	// (earlier attempts and timeout waits). The invariant
+	// QueueNS+GCNS+ServiceNS+RetryNS == DurNS holds exactly, in int64
+	// arithmetic, for every completed request.
+	QueueNS   int64 `json:"queue_ns,omitempty"`
+	GCNS      int64 `json:"gc_ns,omitempty"`
+	ServiceNS int64 `json:"service_ns,omitempty"`
+	RetryNS   int64 `json:"retry_ns,omitempty"`
+	// GCPauses counts the distinct STW pauses overlapping the final attempt.
+	GCPauses int64 `json:"gc_pauses,omitempty"`
+	// Windowed fleet fields (KindFleetWindow, and InFlight on
+	// KindFleetRoute): instantaneous in-flight requests, SLO-meeting
+	// completions per second, and SLO budget burn rate over the window.
+	InFlight int64   `json:"in_flight,omitempty"`
+	Goodput  float64 `json:"goodput,omitempty"`
+	BurnRate float64 `json:"burn_rate,omitempty"`
 	// Err is the failure message on job-finish of a failed job, or "oom".
 	Err string `json:"err,omitempty"`
 }
@@ -282,6 +352,69 @@ func (s *runStamp) Record(e Event) {
 		e.Collector = s.collector
 	}
 	s.r.Record(e)
+}
+
+// replicaStamp wraps a Recorder, stamping a fleet replica index onto every
+// event that does not already carry one. The fleet driver wraps the shared
+// recorder once per replica, so GC and sampling telemetry emitted from inside
+// a replica's engine stays attributable after the streams merge.
+type replicaStamp struct {
+	r       Recorder
+	replica int // 1-based, as stored on Event.Replica
+}
+
+// WithReplica returns a Recorder that stamps fleet replica idx (0-based, as
+// the fleet numbers replicas) onto events recorded through it. Stamping a
+// disabled recorder returns it unchanged.
+func WithReplica(r Recorder, idx int) Recorder {
+	r = Or(r)
+	if !r.Enabled() {
+		return r
+	}
+	return &replicaStamp{r: r, replica: idx + 1}
+}
+
+func (s *replicaStamp) Enabled() bool { return true }
+
+func (s *replicaStamp) Record(e Event) {
+	if e.Replica == 0 {
+		e.Replica = s.replica
+	}
+	s.r.Record(e)
+}
+
+// Buffer is a Recorder that captures events in memory, in arrival order. It
+// is safe for concurrent use; commands use it to keep a run's telemetry for
+// post-run rendering (fleet timelines) alongside — or instead of — a JSONL
+// file.
+type Buffer struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Enabled always reports true.
+func (b *Buffer) Enabled() bool { return true }
+
+// Record appends the event.
+func (b *Buffer) Record(e Event) {
+	b.mu.Lock()
+	b.events = append(b.events, e)
+	b.mu.Unlock()
+}
+
+// RecordBatch appends a batch under one lock acquisition.
+func (b *Buffer) RecordBatch(evs []Event) {
+	b.mu.Lock()
+	b.events = append(b.events, evs...)
+	b.mu.Unlock()
+}
+
+// Events returns the captured events. The slice is shared — callers must not
+// record concurrently with using it.
+func (b *Buffer) Events() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.events
 }
 
 // Multi fans every event out to each of rs (disabled ones are dropped). It

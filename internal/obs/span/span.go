@@ -88,6 +88,12 @@ type Tree struct {
 	Run       string
 	Benchmark string
 	Collector string
+	// Replica is the fleet replica the tree belongs to, 1-based as stamped
+	// on events (internal/fleet); zero for ordinary single-process runs.
+	// Fleet streams carry one tree per (run, replica) because each replica's
+	// collector numbers its cycles independently — merging them would alias
+	// cycle IDs.
+	Replica int
 	// Spans is sorted by Start, then ID. Parent references are by ID.
 	Spans []Span
 	Marks []Mark
@@ -131,9 +137,9 @@ type builder struct {
 	cycleSpan map[int64]int64 // collection ID -> span ID
 }
 
-func newBuilder(run string) *builder {
+func newBuilder(run string, replica int) *builder {
 	return &builder{
-		tree:      Tree{Run: run},
+		tree:      Tree{Run: run, Replica: replica},
 		openCycle: map[int64]int{},
 		cycleSpan: map[int64]int64{},
 	}
@@ -255,25 +261,32 @@ func sortedValues(m map[int64]int) []int {
 	return out
 }
 
-// Build folds a telemetry stream into one span tree per run, in order of
-// first appearance. Events from different runs may interleave arbitrarily
-// (concurrent engine jobs share one sink); events within a run must be in
-// emission order, which the seq-stamped JSONL stream guarantees.
+// Build folds a telemetry stream into one span tree per run — per (run,
+// replica) for fleet streams, whose per-replica collectors each number their
+// cycles from 1 — in order of first appearance. Events from different runs
+// may interleave arbitrarily (concurrent engine jobs share one sink); events
+// within a run must be in emission order, which the seq-stamped JSONL stream
+// guarantees.
 func Build(events []obs.Event) []*Tree {
-	builders := map[string]*builder{}
-	var order []string
+	type groupKey struct {
+		run     string
+		replica int
+	}
+	builders := map[groupKey]*builder{}
+	var order []groupKey
 	for _, e := range events {
-		bb := builders[e.Run]
+		k := groupKey{e.Run, e.Replica}
+		bb := builders[k]
 		if bb == nil {
-			bb = newBuilder(e.Run)
-			builders[e.Run] = bb
-			order = append(order, e.Run)
+			bb = newBuilder(e.Run, e.Replica)
+			builders[k] = bb
+			order = append(order, k)
 		}
 		bb.event(e)
 	}
 	trees := make([]*Tree, 0, len(order))
-	for _, run := range order {
-		t := builders[run].finish()
+	for _, k := range order {
+		t := builders[k].finish()
 		// A tree with no spans, marks or samples (e.g. the pseudo-run of
 		// unstamped engine events) would render as an empty process.
 		if len(t.Spans) > 0 || len(t.Marks) > 0 || len(t.Samples) > 0 {

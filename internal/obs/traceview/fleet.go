@@ -1,0 +1,260 @@
+package traceview
+
+import (
+	"fmt"
+	"io"
+
+	"chopin/internal/obs/span"
+)
+
+// Fleet renderers: one track per replica — STW bars, load, traced requests —
+// as Chrome trace-event JSON for Perfetto, and as a terminal timeline. The
+// JSON is hand-assembled like WriteChromeTrace, so field order is stable and
+// a golden file can lock the format byte-for-byte.
+
+// Fleet-layer thread IDs, appended after the per-replica span tracks
+// (gc=1 … sched=4).
+const (
+	tidRequests = 5
+	tidRoutes   = 6
+)
+
+// WriteFleetChrome writes assembled fleet traces as one Chrome trace-event
+// JSON object: each replica is a process carrying its own GC/STW/mutator
+// tracks, a "requests" track with the logical requests it served (blame
+// decomposition in args), a "routes" track of balancer decisions, and
+// counter tracks for in-flight, goodput and SLO burn rate from the metric
+// windows.
+func WriteFleetChrome(w io.Writer, fts []*span.FleetTrace) error {
+	bw := &errWriter{w: w}
+	bw.str(`{"traceEvents":[`)
+	first := true
+	emit := func(line string) {
+		if !first {
+			bw.str(",\n")
+		} else {
+			bw.str("\n")
+		}
+		first = false
+		bw.str(line)
+	}
+
+	pid := 0
+	for _, ft := range fts {
+		base := pid
+		pids := map[int]int{} // replica index -> pid
+		for _, rt := range ft.Replicas {
+			pid++
+			pids[rt.Index] = pid
+			label := ft.Run
+			if label == "" {
+				label = "fleet"
+			}
+			if ft.Benchmark != "" || ft.Collector != "" {
+				label = fmt.Sprintf("%s (%s/%s)", label, ft.Benchmark, ft.Collector)
+			}
+			label = fmt.Sprintf("%s replica %d", label, rt.Index)
+			emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}}`,
+				pid, jstr(label)))
+			for _, track := range trackOrder {
+				emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
+					pid, trackTIDs[track], jstr(track)))
+			}
+			emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"requests"}}`,
+				pid, tidRequests))
+			emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"routes"}}`,
+				pid, tidRoutes))
+
+			for _, s := range rt.Tree.Spans {
+				args := fmt.Sprintf(`{"span_id":%d,"parent":%d,"cycle":%d`, s.ID, s.Parent, s.Cycle)
+				if s.Cause != 0 {
+					args += fmt.Sprintf(`,"cause":%d`, s.Cause)
+				}
+				if s.Open {
+					args += `,"truncated":true`
+				}
+				args += "}"
+				emit(fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d,"args":%s}`,
+					jstr(s.Name), jstr(s.Track), usec(s.Start), usec(s.DurNS()), pid, trackTIDs[s.Track], args))
+			}
+			for _, m := range rt.Tree.Marks {
+				emit(fmt.Sprintf(`{"name":%s,"cat":"mark","ph":"i","ts":%s,"pid":%d,"tid":%d,"s":"p","args":{"cause":%d}}`,
+					jstr(m.Name), usec(m.TNS), pid, trackTIDs[span.TrackGC], m.Cause))
+			}
+			for _, smp := range rt.Tree.Samples {
+				emit(fmt.Sprintf(`{"name":"heap","ph":"C","ts":%s,"pid":%d,"tid":0,"args":{"used_mb":%s,"live_mb":%s}}`,
+					usec(smp.TNS), pid, jnum(smp.HeapUsed/(1<<20)), jnum(smp.LiveEst/(1<<20))))
+			}
+			for _, win := range rt.Windows {
+				emit(fmt.Sprintf(`{"name":"load","ph":"C","ts":%s,"pid":%d,"tid":0,"args":{"in_flight":%d,"goodput":%s,"burn":%s}}`,
+					usec(win.EndNS), pid, win.InFlight, jnum(win.Goodput), jnum(win.BurnRate)))
+			}
+		}
+
+		// Requests and routes render in the process of the replica that
+		// served (or received) them.
+		for _, q := range ft.Requests {
+			p, ok := pids[q.Replica]
+			if !ok {
+				p = base + 1
+			}
+			args := fmt.Sprintf(`{"id":%d,"attempts":%d,"queue_ms":%s,"gc_ms":%s,"service_ms":%s,"retry_ms":%s,"gc_pauses":%d}`,
+				q.ID, q.Attempts, jnum(float64(q.QueueNS)/1e6), jnum(float64(q.GCNS)/1e6),
+				jnum(float64(q.ServNS)/1e6), jnum(float64(q.RetryNS)/1e6), q.GCPauses)
+			emit(fmt.Sprintf(`{"name":%s,"cat":"request","ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d,"args":%s}`,
+				jstr(fmt.Sprintf("req %d", q.ID)), usec(q.Start), usec(q.E2ENS), p, tidRequests, args))
+		}
+		for _, r := range ft.Routes {
+			p, ok := pids[r.Replica]
+			if !ok {
+				p = base + 1
+			}
+			emit(fmt.Sprintf(`{"name":%s,"cat":"route","ph":"i","ts":%s,"pid":%d,"tid":%d,"s":"t","args":{"id":%d,"attempt":%d,"avoided":%d}}`,
+				jstr(r.Reason), usec(r.TNS), p, tidRoutes, r.ID, r.Attempt, r.Avoided))
+		}
+		for _, r := range ft.Retries {
+			p, ok := pids[r.Replica]
+			if !ok {
+				p = base + 1
+			}
+			emit(fmt.Sprintf(`{"name":"retry","cat":"retry","ph":"i","ts":%s,"pid":%d,"tid":%d,"s":"t","args":{"id":%d,"depth":%d,"lat_ms":%s}}`,
+				usec(r.TNS), p, tidRoutes, r.ID, r.Depth, jnum(r.LatNS/1e6)))
+		}
+	}
+	bw.str("\n],\"displayTimeUnit\":\"ms\"}\n")
+	return bw.err
+}
+
+// loadGlyphs maps an in-flight depth (relative to the run's peak) to a bar
+// character; '.' is idle, '@' the peak.
+var loadGlyphs = []byte(" .:-=+*#@")
+
+// WriteFleetTimeline renders each fleet trace as a fixed-width terminal
+// timeline: per replica, an STW bar (cells any pause touches), a load bar
+// (in-flight depth per window, scaled to the fleet's peak), and a request
+// bar (cells where traced requests were in flight on that replica); then the
+// retry bursts beneath.
+func WriteFleetTimeline(w io.Writer, fts []*span.FleetTrace, width int) error {
+	if width <= 0 {
+		width = 72
+	}
+	if width < 10 {
+		width = 10
+	}
+	bw := &errWriter{w: w}
+	for fi, ft := range fts {
+		if fi > 0 {
+			bw.str("\n")
+		}
+		head := ft.Run
+		if head == "" {
+			head = "(fleet)"
+		}
+		if ft.Benchmark != "" || ft.Collector != "" {
+			head += fmt.Sprintf("  %s/%s", ft.Benchmark, ft.Collector)
+		}
+		bw.str(fmt.Sprintf("%s  %d replica(s), %d request(s), %d retry(ies)  [0 .. %s]\n",
+			head, len(ft.Replicas), len(ft.Requests), len(ft.Retries), fmtNS(ft.EndNS)))
+		if ft.EndNS <= 0 {
+			continue
+		}
+		scale := float64(width) / float64(ft.EndNS)
+
+		// The load bars share one scale: the fleet-wide peak in-flight depth.
+		var peak int64 = 1
+		for _, rt := range ft.Replicas {
+			for _, win := range rt.Windows {
+				if win.InFlight > peak {
+					peak = win.InFlight
+				}
+			}
+		}
+
+		for _, rt := range ft.Replicas {
+			stw := make([]byte, width)
+			load := make([]byte, width)
+			reqs := make([]byte, width)
+			for i := 0; i < width; i++ {
+				stw[i], load[i], reqs[i] = '.', ' ', '.'
+			}
+			var pauseNS int64
+			var pauses int
+			for _, s := range rt.Tree.Spans {
+				if s.Track != span.TrackSTW {
+					continue
+				}
+				pauses++
+				pauseNS += s.DurNS()
+				lo, hi := cellRange(s.Start, s.End, scale, width)
+				for i := lo; i <= hi; i++ {
+					stw[i] = '#'
+				}
+			}
+			for _, win := range rt.Windows {
+				lo, hi := cellRange(win.EndNS-win.DurNS, win.EndNS, scale, width)
+				lvl := int(win.InFlight * int64(len(loadGlyphs)-1) / peak)
+				g := loadGlyphs[lvl]
+				for i := lo; i <= hi; i++ {
+					if g > load[i] {
+						load[i] = g
+					}
+				}
+			}
+			var served int
+			for _, q := range ft.Requests {
+				if q.Replica != rt.Index {
+					continue
+				}
+				served++
+				lo, hi := cellRange(q.Start, q.End, scale, width)
+				for i := lo; i <= hi; i++ {
+					reqs[i] = '#'
+				}
+			}
+			bw.str(fmt.Sprintf("  r%-2d stw  |%s| %4d pause(s) %10s %5.1f%%\n",
+				rt.Index, stw, pauses, fmtNS(pauseNS),
+				100*float64(pauseNS)/float64(ft.EndNS)))
+			bw.str(fmt.Sprintf("      load |%s| peak %d in flight\n", load, peak))
+			bw.str(fmt.Sprintf("      req  |%s| %4d request(s)\n", reqs, served))
+		}
+
+		if len(ft.Retries) > 0 {
+			st := span.SummarizeRetries(ft)
+			bar := make([]byte, width)
+			for i := range bar {
+				bar[i] = ' '
+			}
+			for _, r := range ft.Retries {
+				pos := int(float64(r.TNS) * scale)
+				if pos >= width {
+					pos = width - 1
+				}
+				bar[pos] = '!'
+			}
+			bw.str(fmt.Sprintf("  retries  |%s| %d total, %d request(s), depth<=%d, peak %d/window\n",
+				bar, st.Total, st.Unique, st.MaxDepth, st.PeakCount))
+		}
+	}
+	return bw.err
+}
+
+// cellRange maps a [start, end] interval to inclusive cell indices; an
+// interval always occupies at least its starting cell so short pauses stay
+// visible.
+func cellRange(start, end int64, scale float64, width int) (int, int) {
+	lo := int(float64(start) * scale)
+	hi := int(float64(end) * scale)
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= width {
+		lo = width - 1
+	}
+	if hi >= width {
+		hi = width - 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}

@@ -126,6 +126,9 @@ func (r *runner) dispatchOpenLoop() {
 			ol.head = 0
 		}
 		ol.busy[widx] = true
+		if r.onDispatch != nil {
+			r.onDispatch(item.id, r.eng.Now())
+		}
 		f := r.newFrame()
 		f.w = r.workers[widx]
 		f.idx = widx

@@ -71,6 +71,14 @@ func NewReplica(d *Descriptor, cfg RunConfig, idx int) (*Replica, error) {
 // Index returns the replica's position in its fleet.
 func (rp *Replica) Index() int { return rp.idx }
 
+// SetDispatchHook installs fn to observe each injected request leaving the
+// replica's queue for an idle worker, at the dispatch instant — the boundary
+// between queue wait and service. A nil hook (the default) costs nothing.
+// The hook runs inside the dispatch loop and must not re-enter the replica.
+func (rp *Replica) SetDispatchHook(fn func(id int32, at sim.Time)) {
+	rp.r.onDispatch = fn
+}
+
 // Engine returns the replica's simulation engine, for cluster stepping and
 // clock reads.
 func (rp *Replica) Engine() *sim.Engine { return rp.r.eng }

@@ -150,6 +150,11 @@ type runner struct {
 	// fleet replica hangs its bookkeeping on. The hook runs inside the
 	// completion callback and must not re-enter the runner.
 	onComplete func(id int32, start, end sim.Time)
+	// onDispatch, when set, observes an open-loop arrival leaving the queue
+	// for an idle worker — the queue-wait / service-time boundary the fleet
+	// tracer needs for blame attribution. Same discipline as onComplete: runs
+	// inside dispatch, must not re-enter the runner.
+	onDispatch func(id int32, at sim.Time)
 
 	// freeFrames recycles event continuation frames (see eventFrame): the
 	// steady-state invocation path allocates nothing per event.
