@@ -16,7 +16,9 @@ tier1-race:
 		-telemetry fleet-smoke.jsonl -trace-out fleet-smoke.trace.json \
 		-timeline > /dev/null
 	go run ./cmd/obsreport -fleet fleet-smoke.jsonl > /dev/null
-	rm -f fleet-smoke.jsonl fleet-smoke.trace.json
+	go run ./cmd/fleet -bench micro-pauseprobe -replicas 256 -lb gc-aware \
+		-events 60 -trace-out fleet-smoke-256.trace.json > /dev/null
+	rm -f fleet-smoke.jsonl fleet-smoke.trace.json fleet-smoke-256.trace.json
 
 .PHONY: test
 test:
@@ -26,20 +28,27 @@ test:
 # the end-to-end invocation path (BenchmarkRunInvocation*, root package, one
 # sub-benchmark per collector), the whole-suite batch-execution path
 # (BenchmarkFullSuite, workers=1 vs workers=8), and the fleet layer
-# (BenchmarkFleetSweep plus BenchmarkFleetTelemetry, which prices request
-# tracing recorder-on vs -off and gates the disabled hooks at 0 allocs/op;
-# it gets its own -benchtime so the µs-scale hook bench self-iterates to a
-# stable ns/op instead of one cold N=1 sample). Each benchmark runs five
-# times and benchjson records the per-metric median, so the committed
-# BENCH_sim.json baseline is median-of-five — directly comparable to the
-# median-of-five gate runs and robust to scheduler noise on loaded hosts.
+# (BenchmarkFleetSweep; BenchmarkFleetScale, the 16→1024 replica ladder whose
+# 1024-replica rung the gate holds at 0 allocs/op — the driving loop must stay
+# allocation-free at scale; and BenchmarkFleetTelemetry, which prices request
+# tracing recorder-on vs -off and gates the disabled hooks at 0 allocs/op).
+# FleetSweep and FleetTelemetry get their own -benchtime so each self-iterates
+# to a stable ns/op instead of one cold N=1 sample (a single ~30ms sweep op
+# varies ~30% run to run; 300ms amortizes it), while the minutes-scale
+# FullSuite stays at -benchtime=1x and FleetScale at 3 fleet runs per sample.
+# Each benchmark runs five times and benchjson records the per-metric median,
+# so the committed BENCH_sim.json baseline is median-of-five — directly
+# comparable to the median-of-five gate runs and robust to scheduler noise on
+# loaded hosts.
 .PHONY: bench
 bench:
 	( go test -run='^$$' -bench='BenchmarkEngine' -benchmem -benchtime=300ms \
 		-count=5 ./internal/sim && \
 	  go test -run='^$$' -bench='BenchmarkRunInvocation' -benchmem -count=5 . && \
 	  go test -run='^$$' -bench='BenchmarkFullSuite' -benchtime=1x -count=5 . && \
-	  go test -run='^$$' -bench='BenchmarkFleetSweep' -benchtime=1x -count=5 \
+	  go test -run='^$$' -bench='BenchmarkFleetSweep' -benchtime=300ms -count=5 \
+		./internal/fleet && \
+	  go test -run='^$$' -bench='BenchmarkFleetScale' -benchtime=3x -count=5 \
 		./internal/fleet && \
 	  go test -run='^$$' -bench='BenchmarkFleetTelemetry' -benchtime=200ms \
 		-count=5 ./internal/fleet ) \
@@ -58,7 +67,9 @@ bench-gate:
 		-count=5 ./internal/sim && \
 	  go test -run='^$$' -bench='BenchmarkRunInvocation' -benchmem -count=5 . && \
 	  go test -run='^$$' -bench='BenchmarkFullSuite' -benchtime=1x -count=5 . && \
-	  go test -run='^$$' -bench='BenchmarkFleetSweep' -benchtime=1x -count=5 \
+	  go test -run='^$$' -bench='BenchmarkFleetSweep' -benchtime=300ms -count=5 \
+		./internal/fleet && \
+	  go test -run='^$$' -bench='BenchmarkFleetScale' -benchtime=3x -count=5 \
 		./internal/fleet && \
 	  go test -run='^$$' -bench='BenchmarkFleetTelemetry' -benchtime=200ms \
 		-count=5 ./internal/fleet ) \

@@ -21,6 +21,7 @@ package fleet
 
 import (
 	"fmt"
+	"sync"
 
 	"chopin/internal/cpuarch"
 	"chopin/internal/latency"
@@ -83,6 +84,13 @@ type Config struct {
 	// StepBudget caps total simulation events across the fleet (default
 	// 500M, the standalone runner's safety net).
 	StepBudget int64 `json:"step_budget,omitempty"`
+
+	// reference selects the O(N) differential-oracle paths — the linear
+	// cluster scan and the linear balancers — in place of the indexed
+	// production structures. Unexported (and so excluded from the JSON cache
+	// key): oracle mode is a test concern, and both modes produce
+	// byte-identical results by construction.
+	reference bool
 }
 
 // arrivalSeedSalt separates the arrival process's RNG stream from every
@@ -152,21 +160,98 @@ func Run(d *workload.Descriptor, cfg Config, rec obs.Recorder) (*Report, error) 
 	return rep, nil
 }
 
+// fleetScratch is drive's pooled per-request state: retry depth per logical
+// request and the pending-retry queue. Pooling it (and the tracer's
+// per-replica accumulators) keeps the driving loop's allocations constant in
+// fleet size and request count after warmup — the property the scale
+// benchmark asserts with allocs/op.
+type fleetScratch struct {
+	depth   []int32
+	retries []pendingRetry
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(fleetScratch) }}
+
+func getScratch(requests int) *fleetScratch {
+	s := scratchPool.Get().(*fleetScratch)
+	if cap(s.depth) < requests {
+		s.depth = make([]int32, requests)
+	} else {
+		s.depth = s.depth[:requests]
+		for i := range s.depth {
+			s.depth[i] = 0
+		}
+	}
+	s.retries = s.retries[:0]
+	return s
+}
+
+// fleetRun is one fleet simulation, split into construction (newFleetRun:
+// replicas, cluster, balancer, tracer — everything O(N)) and the driving loop
+// (run), so the hot loop's cost profile can be measured and reasoned about in
+// isolation from setup.
+type fleetRun struct {
+	d       *workload.Descriptor
+	cfg     Config
+	rec     obs.Recorder
+	reps    []*workload.Replica
+	engines []*sim.Engine
+	backs   []backend
+	bal     balancer
+	cluster *sim.Cluster
+	proc    arrivalProcess
+	tr      *tracer
+	scratch *fleetScratch
+	retried int64
+	steps   int64 // simulation events processed by run, for per-event metrics
+}
+
 // drive executes the fleet simulation itself, returning the drained replicas
 // and the retry count (Run layers the report on top; the oracle test reads
 // the replicas directly).
 func drive(d *workload.Descriptor, cfg Config, rec obs.Recorder) ([]*workload.Replica, int64, Config, error) {
-	cfg = cfg.normalize(d)
-	rec = obs.Or(rec)
-	bal, err := newBalancer(cfg.Policy)
+	fr, err := newFleetRun(d, cfg, rec)
 	if err != nil {
-		return nil, 0, cfg, err
+		return nil, 0, fr.cfg, err
+	}
+	if err := fr.run(); err != nil {
+		return nil, 0, fr.cfg, err
+	}
+	fr.release()
+	return fr.reps, fr.retried, fr.cfg, nil
+}
+
+// newFleetRun validates the config and builds the fleet: replicas with their
+// engines, the cluster event index, the balancer (indexed production
+// structures, or the linear oracles in reference mode) and, when observed,
+// the tracer. Everything that allocates proportionally to N happens here.
+func newFleetRun(d *workload.Descriptor, cfg Config, rec obs.Recorder) (*fleetRun, error) {
+	fr := &fleetRun{d: d, cfg: cfg, rec: obs.Or(rec)}
+	if err := cfg.Validate(); err != nil {
+		return fr, err
+	}
+	cfg = cfg.normalize(d)
+	fr.cfg = cfg
+	rec = fr.rec
+
+	if cfg.reference {
+		bal, err := newReferenceBalancer(cfg.Policy)
+		if err != nil {
+			return fr, err
+		}
+		fr.bal = bal
+	} else {
+		bal, err := newBalancer(cfg.Policy, cfg.Replicas)
+		if err != nil {
+			return fr, err
+		}
+		fr.bal = bal
 	}
 
-	reps := make([]*workload.Replica, cfg.Replicas)
-	engines := make([]*sim.Engine, cfg.Replicas)
-	backs := make([]backend, cfg.Replicas)
-	for i := range reps {
+	fr.reps = make([]*workload.Replica, cfg.Replicas)
+	fr.engines = make([]*sim.Engine, cfg.Replicas)
+	fr.backs = make([]backend, cfg.Replicas)
+	for i := range fr.reps {
 		rcfg := cfg.Run
 		rcfg.Seed += uint64(i) * replicaSeedStride
 		if rec.Enabled() && rcfg.Recorder == nil {
@@ -180,51 +265,70 @@ func drive(d *workload.Descriptor, cfg Config, rec obs.Recorder) ([]*workload.Re
 		}
 		rp, err := workload.NewReplica(d, rcfg, i)
 		if err != nil {
-			return nil, 0, cfg, err
+			return fr, err
 		}
-		reps[i] = rp
-		engines[i] = rp.Engine()
-		backs[i] = rp
+		fr.reps[i] = rp
+		fr.engines[i] = rp.Engine()
+		fr.backs[i] = rp
+	}
+	if ga, ok := fr.bal.(*gcAwareIndex); ok {
+		// The indexed gc-aware policy keeps pause state in its tree instead of
+		// polling Paused() per pick: each collector pushes its pause-world /
+		// resume transitions as they happen.
+		for i, rp := range fr.reps {
+			rp.SetPauseHook(func(paused bool) { ga.setPaused(i, paused) })
+		}
 	}
 	// tr stays nil — every tracer method's disabled path is one branch —
 	// unless the run is observed.
-	var tr *tracer
 	if rec.Enabled() {
-		tr = newTracer(rec, d, cfg, reps)
+		fr.tr = newTracer(rec, d, cfg, fr.reps)
 	}
 
 	// The fleet's mean inter-arrival interval divides the per-replica
 	// open-loop interval by N: each replica sees, on average, the load a
 	// standalone run would offer it. For N=1 the division is an exact
 	// identity, which the oracle test depends on.
-	perReplica, err := reps[0].Interval()
+	perReplica, err := fr.reps[0].Interval()
 	if err != nil {
-		return nil, 0, cfg, err
+		return fr, err
 	}
 	meanNS := perReplica / float64(cfg.Replicas)
 
-	startF := engines[0].NowF()
+	startF := fr.engines[0].NowF()
 	spec, err := cfg.Arrival.normalize(meanNS * float64(cfg.Requests))
 	if err != nil {
-		return nil, 0, cfg, err
+		return fr, err
 	}
-	cfg.Arrival = spec
-	proc := newArrival(spec, meanNS, startF, cfg.Requests,
+	fr.cfg.Arrival = spec
+	fr.proc = newArrival(spec, meanNS, startF, cfg.Requests,
 		sim.NewRNG(cfg.Run.Seed^arrivalSeedSalt))
 
-	cluster := sim.NewCluster(engines...)
+	if cfg.reference {
+		fr.cluster = sim.NewReferenceCluster(fr.engines...)
+	} else {
+		fr.cluster = sim.NewCluster(fr.engines...)
+	}
+	fr.scratch = getScratch(cfg.Requests)
+	return fr, nil
+}
+
+// run is the driving loop: interleave arrivals, retries and cluster steps in
+// global virtual-time order until the fleet drains. Per-event work is O(log N)
+// — a cluster peek/step, a balancer root read plus count updates — and
+// allocation-free after warmup (scratch and tracer state are pooled).
+func (fr *fleetRun) run() error {
+	d, cfg := fr.d, fr.cfg
+	bal, cluster, reps, tr := fr.bal, fr.cluster, fr.reps, fr.tr
+	depth, retries := fr.scratch.depth, fr.scratch.retries
 	var (
-		arrIdx    int            // next fresh arrival to draw
-		nextArr   float64        // its time, valid while arrIdx < Requests
-		retries   []pendingRetry // FIFO, non-decreasing t
+		arrIdx    int     // next fresh arrival to draw
+		nextArr   float64 // its time, valid while arrIdx < Requests
 		retryHead int
-		depth     = make([]int32, cfg.Requests)
-		steps     int64
-		retried   int64
 		lastEnd   int64
 	)
 	if cfg.Requests > 0 {
-		nextArr = proc.next(0)
+		nextArr = fr.proc.next(0)
 	}
 
 	for {
@@ -244,9 +348,10 @@ func drive(d *workload.Descriptor, cfg Config, rec obs.Recorder) ([]*workload.Re
 			// Inject before the cluster steps past injT: every engine's
 			// clock is still at or before injT, so the arrival timer's
 			// deadline is exact.
-			dec := bal.pick(backs)
+			dec := bal.pick(fr.backs)
 			tr.route(int64(injT), injID, dec)
 			reps[dec.Replica].InjectAt(injT, injID)
+			bal.inject(dec.Replica)
 			if isRetry {
 				retryHead++
 				if retryHead == len(retries) {
@@ -255,7 +360,7 @@ func drive(d *workload.Descriptor, cfg Config, rec obs.Recorder) ([]*workload.Re
 			} else {
 				arrIdx++
 				if arrIdx < cfg.Requests {
-					nextArr = proc.next(arrIdx)
+					nextArr = fr.proc.next(arrIdx)
 				}
 			}
 			continue
@@ -264,17 +369,18 @@ func drive(d *workload.Descriptor, cfg Config, rec obs.Recorder) ([]*workload.Re
 			break // quiescent with nothing left to inject: drained
 		}
 
-		engines[idx].Step()
-		steps++
-		if steps > cfg.StepBudget {
-			return nil, 0, cfg, fmt.Errorf("fleet: %s: event budget exceeded after %d events (rate beyond fleet capacity?)",
+		fr.engines[idx].Step()
+		fr.steps++
+		if fr.steps > cfg.StepBudget {
+			return fmt.Errorf("fleet: %s: event budget exceeded after %d events (rate beyond fleet capacity?)",
 				d.Name, cfg.StepBudget)
 		}
 		rp := reps[idx]
 		if rp.OOM() {
-			return nil, 0, cfg, rp.OOMErr()
+			return rp.OOMErr()
 		}
 		for _, c := range rp.DrainCompletions() {
+			bal.complete(idx)
 			if c.End > lastEnd {
 				lastEnd = c.End
 			}
@@ -284,13 +390,13 @@ func drive(d *workload.Descriptor, cfg Config, rec obs.Recorder) ([]*workload.Re
 			tr.complete(idx, c, !willRetry)
 			if willRetry {
 				depth[c.ID]++
-				retried++
+				fr.retried++
 				// Re-inject at the step's exact float time (== the
 				// completion instant) rather than the truncated c.End, so
 				// the retry timer never lands behind the engine clock.
 				retries = append(retries, pendingRetry{t: at, id: c.ID})
-				if rec.Enabled() {
-					rec.Record(obs.Event{
+				if fr.rec.Enabled() {
+					fr.rec.Record(obs.Event{
 						Kind:      obs.KindFleetRetry,
 						TNS:       c.End,
 						Benchmark: d.Name,
@@ -307,15 +413,29 @@ func drive(d *workload.Descriptor, cfg Config, rec obs.Recorder) ([]*workload.Re
 	tr.finish(lastEnd)
 
 	if arrIdx < cfg.Requests || retryHead < len(retries) {
-		return nil, 0, cfg, fmt.Errorf("fleet: %s: cluster went quiescent with %d arrivals and %d retries pending",
+		return fmt.Errorf("fleet: %s: cluster went quiescent with %d arrivals and %d retries pending",
 			d.Name, cfg.Requests-arrIdx, len(retries)-retryHead)
 	}
 	for _, rp := range reps {
 		if n := rp.Outstanding(); n != 0 {
-			return nil, 0, cfg, fmt.Errorf("fleet: %s: replica %d lost %d requests",
+			return fmt.Errorf("fleet: %s: replica %d lost %d requests",
 				d.Name, rp.Index(), n)
 		}
 	}
 
-	return reps, retried, cfg, nil
+	fr.scratch.retries = retries
+	return nil
+}
+
+// release recycles the run's pooled state after a successful run. It is a
+// separate step (not the tail of run) so the scale benchmark times only the
+// driving loop: a sync.Pool Put can rebuild its per-P chain after a GC —
+// once-per-run housekeeping, not per-event cost. Error paths never release —
+// the next run draws fresh state rather than inherit possibly-inconsistent
+// scratch.
+func (fr *fleetRun) release() {
+	scratchPool.Put(fr.scratch)
+	fr.scratch = nil
+	fr.tr.release()
+	fr.tr = nil
 }

@@ -76,12 +76,41 @@ type Decision struct {
 	Avoided int
 }
 
-// balancer picks the replica to serve the next arrival.
+// balancer picks the replica to serve the next arrival. The driver mirrors
+// replica state into the balancer through the three update methods — one
+// call per injection, completion and pause transition — which is what lets
+// indexed policies answer pick in O(log N) without rescanning the fleet.
+// Policies that derive state at pick time (round-robin, the linear reference
+// oracles) implement them as no-ops.
 type balancer interface {
 	pick(reps []backend) Decision
+	inject(i int)
+	complete(i int)
+	setPaused(i int, paused bool)
 }
 
-func newBalancer(p Policy) (balancer, error) {
+// newBalancer builds the production balancer for n replicas: round-robin, or
+// a tournament-tree-indexed policy whose picks cost O(log N) (see
+// lbindex.go). n must be ≥ 1 — config validation rejects smaller fleets
+// before a balancer is built.
+func newBalancer(p Policy, n int) (balancer, error) {
+	if n < 1 {
+		return nil, &ConfigError{Field: "replicas", Reason: fmt.Sprintf("fleet needs at least one replica, got %d", n)}
+	}
+	switch p {
+	case RoundRobin, "":
+		return &roundRobin{}, nil
+	case LeastOutstanding:
+		return newLeastOutstandingIndex(n), nil
+	case GCAware:
+		return newGCAwareIndex(n), nil
+	}
+	return nil, fmt.Errorf("fleet: unknown balancer policy %q", p)
+}
+
+// newReferenceBalancer builds the retained O(N)-per-pick implementation of a
+// policy: the differential oracle the indexed balancers are tested against.
+func newReferenceBalancer(p Policy) (balancer, error) {
 	switch p {
 	case RoundRobin, "":
 		return &roundRobin{}, nil
@@ -93,7 +122,18 @@ func newBalancer(p Policy) (balancer, error) {
 	return nil, fmt.Errorf("fleet: unknown balancer policy %q", p)
 }
 
-type roundRobin struct{ n int }
+// noUpdates is embedded by policies that read replica state at pick time (or
+// ignore it entirely) instead of maintaining an index.
+type noUpdates struct{}
+
+func (noUpdates) inject(int)          {}
+func (noUpdates) complete(int)        {}
+func (noUpdates) setPaused(int, bool) {}
+
+type roundRobin struct {
+	noUpdates
+	n int
+}
 
 func (rr *roundRobin) pick(reps []backend) Decision {
 	i := rr.n % len(reps)
@@ -101,7 +141,7 @@ func (rr *roundRobin) pick(reps []backend) Decision {
 	return Decision{Replica: i, Reason: ReasonRoundRobin}
 }
 
-type leastOutstanding struct{}
+type leastOutstanding struct{ noUpdates }
 
 func (leastOutstanding) pick(reps []backend) Decision {
 	best := 0
@@ -113,7 +153,7 @@ func (leastOutstanding) pick(reps []backend) Decision {
 	return Decision{Replica: best, Reason: ReasonLeastOutstanding}
 }
 
-type gcAware struct{}
+type gcAware struct{ noUpdates }
 
 func (gcAware) pick(reps []backend) Decision {
 	best, avoided := -1, 0

@@ -21,7 +21,7 @@ func backends(specs ...fakeBackend) []backend {
 }
 
 func TestRoundRobinCycles(t *testing.T) {
-	bal, err := newBalancer(RoundRobin)
+	bal, err := newReferenceBalancer(RoundRobin)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func TestRoundRobinCycles(t *testing.T) {
 }
 
 func TestLeastOutstandingPicksMin(t *testing.T) {
-	bal, err := newBalancer(LeastOutstanding)
+	bal, err := newReferenceBalancer(LeastOutstanding)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestLeastOutstandingPicksMin(t *testing.T) {
 }
 
 func TestGCAwareRoutesAroundPauses(t *testing.T) {
-	bal, err := newBalancer(GCAware)
+	bal, err := newReferenceBalancer(GCAware)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestGCAwareRoutesAroundPauses(t *testing.T) {
 }
 
 func TestGCAwareNoPausesIsLeastOutstanding(t *testing.T) {
-	bal, err := newBalancer(GCAware)
+	bal, err := newReferenceBalancer(GCAware)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestGCAwareNoPausesIsLeastOutstanding(t *testing.T) {
 }
 
 func TestGCAwareSkipsEveryPausedReplica(t *testing.T) {
-	bal, err := newBalancer(GCAware)
+	bal, err := newReferenceBalancer(GCAware)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func TestGCAwareSkipsEveryPausedReplica(t *testing.T) {
 }
 
 func TestGCAwareAllPausedFallsBack(t *testing.T) {
-	bal, err := newBalancer(GCAware)
+	bal, err := newReferenceBalancer(GCAware)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestGCAwareAllPausedFallsBack(t *testing.T) {
 // TestGCAwareSingleReplica: with one replica there is never a choice — the
 // decision is the replica, paused or not, with the honest reason.
 func TestGCAwareSingleReplica(t *testing.T) {
-	bal, err := newBalancer(GCAware)
+	bal, err := newReferenceBalancer(GCAware)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,10 @@ func TestParsePolicy(t *testing.T) {
 	if _, err := ParsePolicy("random"); err == nil {
 		t.Fatal("unknown policy parsed")
 	}
-	if _, err := newBalancer("random"); err == nil {
+	if _, err := newBalancer("random", 1); err == nil {
 		t.Fatal("unknown policy built")
+	}
+	if _, err := newReferenceBalancer("random"); err == nil {
+		t.Fatal("unknown reference policy built")
 	}
 }

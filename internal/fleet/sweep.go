@@ -81,6 +81,9 @@ type cellEnvelope struct {
 // is resumable: cells completed by an earlier, interrupted sweep are
 // satisfied from the engine's cache.
 func RunSweep(eng *exper.Engine, d *workload.Descriptor, sw Sweep) (*Result, error) {
+	if err := sw.validate(); err != nil {
+		return nil, err
+	}
 	reps := sw.Replicas
 	if len(reps) == 0 {
 		reps = []int{sw.Base.normalize(d).Replicas}

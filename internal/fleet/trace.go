@@ -1,6 +1,8 @@
 package fleet
 
 import (
+	"sync"
+
 	"chopin/internal/latency"
 	"chopin/internal/obs"
 	"chopin/internal/obs/sample"
@@ -51,8 +53,11 @@ import (
 // fleetWindowNS is the window grid width: the sampler's 10ms cadence.
 const fleetWindowNS = int64(sample.DefaultInterval)
 
-// maxFleetWindowRows bounds emitted fleet-window events before the grid
-// width doubles, mirroring the sampler's stride doubling.
+// maxFleetWindowRows bounds emitted windows per replica before the grid
+// width doubles, mirroring the sampler's stride doubling. The budget is
+// per-replica (one closed window emits one event per replica), so total
+// fleet-window volume scales as N × budget and a 1024-replica fleet is not
+// starved down to two windows.
 const maxFleetWindowRows = 2048
 
 // reqState is the tracer's per-logical-request accumulator. Attempts are
@@ -83,27 +88,42 @@ type tracer struct {
 	viols    []int64
 	winStart int64
 	winLen   int64
-	rows     int64
+	rows     int64 // closed windows so far (the per-replica event count)
 	sloNS    float64 // first SLA rung's latency bound
 	budget   float64 // its error budget, 1 − percentile/100
 }
 
-// newTracer builds the tracer for one fleet run; call only with an enabled
-// recorder (drive leaves tr nil otherwise).
-func newTracer(rec obs.Recorder, d *workload.Descriptor, cfg Config, reps []*workload.Replica) *tracer {
-	tr := &tracer{
-		rec:      rec,
-		bench:    d.Name,
-		col:      cfg.Run.Collector.String(),
-		reqs:     make([]reqState, cfg.Requests),
-		logs:     make([]*trace.Log, len(reps)),
-		inFlight: make([]int64, len(reps)),
-		comps:    make([]int64, len(reps)),
-		viols:    make([]int64, len(reps)),
-		winLen:   fleetWindowNS,
+var tracerPool = sync.Pool{New: func() any { return new(tracer) }}
+
+// grow returns s resized to n, reusing capacity; fresh elements (and, when
+// reusing, stale ones) are left to the caller to reset.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
 	}
+	return s[:n]
+}
+
+// newTracer builds the tracer for one fleet run; call only with an enabled
+// recorder (drive leaves tr nil otherwise). Tracers are pooled: per-request
+// and per-replica accumulators are reused across runs so an observed fleet's
+// steady-state allocations stay constant in N.
+func newTracer(rec obs.Recorder, d *workload.Descriptor, cfg Config, reps []*workload.Replica) *tracer {
+	tr := tracerPool.Get().(*tracer)
+	tr.rec = rec
+	tr.bench = d.Name
+	tr.col = cfg.Run.Collector.String()
+	tr.reqs = grow(tr.reqs, cfg.Requests)
+	tr.logs = grow(tr.logs, len(reps))
+	tr.inFlight = grow(tr.inFlight, len(reps))
+	tr.comps = grow(tr.comps, len(reps))
+	tr.viols = grow(tr.viols, len(reps))
+	tr.winStart, tr.winLen, tr.rows = 0, fleetWindowNS, 0
 	for i := range tr.reqs {
-		tr.reqs[i].firstArr = -1
+		tr.reqs[i] = reqState{firstArr: -1}
+	}
+	for i := range tr.inFlight {
+		tr.inFlight[i], tr.comps[i], tr.viols[i] = 0, 0, 0
 	}
 	sla := latency.DefaultSLAs[0]
 	if len(cfg.SLAs) > 0 {
@@ -252,9 +272,22 @@ func (tr *tracer) emitWindows(end int64) {
 			BurnRate:  burn,
 		})
 		tr.comps[i], tr.viols[i] = 0, 0
-		tr.rows++
 	}
+	tr.rows++
 	tr.winStart = end
+}
+
+// release returns the tracer to the pool after a successful run, dropping
+// recorder and pause-log references so pooling never extends their lifetime.
+func (tr *tracer) release() {
+	if tr == nil {
+		return
+	}
+	tr.rec = nil
+	for i := range tr.logs {
+		tr.logs[i] = nil
+	}
+	tracerPool.Put(tr)
 }
 
 // overlapPauses returns the total STW wall time inside [lo, hi] and the

@@ -32,6 +32,7 @@ type Collector struct {
 	concWorkers []*sim.Thread
 
 	inPause    bool
+	pauseHook  func(paused bool) // pause-transition observer (SetPauseHook)
 	pauseStart sim.Time
 	// pending and deferred are FIFO queues drained at pause end; both use a
 	// head index and compact when empty so the backing arrays are reused for
@@ -218,7 +219,13 @@ func New(p Params, eng *sim.Engine, h *heap.Heap, log *trace.Log) *Collector {
 	if p.STWThreads < 1 {
 		p.STWThreads = 1
 	}
-	c := &Collector{p: p, eng: eng, heap: h, log: log, rec: obs.Nop, trigger: p.ConcTriggerFrac}
+	c := &Collector{p: p, eng: eng, heap: h, log: log, rec: obs.Nop, trigger: p.ConcTriggerFrac,
+		// Pre-sized so the first pause's mutator sweep, the first deferred
+		// allocation, and the first cycle's state never allocate on a
+		// stepping hot loop.
+		blockedScratch: make([]*sim.Thread, 0, 8),
+		deferred:       make([]deferredOp, 0, 8),
+		freeCycle:      &cycleState{}}
 	for i := 0; i < p.STWThreads; i++ {
 		c.stwWorkers = append(c.stwWorkers, eng.NewThread(fmt.Sprintf("gc-stw-%d", i)))
 	}
@@ -291,6 +298,14 @@ func (c *Collector) Degenerations() int { return c.degenerations }
 // deferred and any request routed here waits out the pause. A GC-aware load
 // balancer reads this to route around pausing replicas.
 func (c *Collector) Paused() bool { return c.inPause }
+
+// SetPauseHook installs fn to observe every stop-the-world transition: it is
+// called with true the instant the world stops (before any STW work runs)
+// and false the instant it restarts (before blocked mutators resume). A
+// GC-aware fleet balancer uses this to maintain its paused-replica index
+// without polling; a nil hook (the default) costs one branch per pause. The
+// hook runs inside the pause machinery and must not re-enter the collector.
+func (c *Collector) SetPauseHook(fn func(paused bool)) { c.pauseHook = fn }
 
 // RegisterMutator declares a mutator thread subject to STW pauses.
 func (c *Collector) RegisterMutator(t *sim.Thread) {
@@ -749,6 +764,9 @@ func (c *Collector) pauseWorld(serialCPU float64, pc pauseCont) {
 		panic("gc: nested world pause")
 	}
 	c.inPause = true
+	if c.pauseHook != nil {
+		c.pauseHook(true)
+	}
 	c.fastBudget = 0 // allocations must defer until the pause ends
 	c.pauseStart = c.eng.Now()
 	blocked := c.blockedScratch[:0]
@@ -791,6 +809,9 @@ func (c *Collector) endPause() {
 		c.rec.Record(obs.Event{Kind: obs.KindGCPause, TNS: now, DurNS: wall, Cycle: c.activeID})
 	}
 	c.inPause = false
+	if c.pauseHook != nil {
+		c.pauseHook(false)
+	}
 	for _, m := range c.blockedScratch {
 		m.Unblock()
 	}

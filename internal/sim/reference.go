@@ -48,6 +48,7 @@ func (e *Engine) stepReference() bool {
 			e.crossSamples()
 		}
 		e.fireTimers()
+		e.mutated()
 		e.events++
 		return true
 	}
@@ -103,6 +104,7 @@ func (e *Engine) stepReference() bool {
 		}
 	}
 	e.fireTimers()
+	e.mutated()
 	e.events++
 	return true
 }

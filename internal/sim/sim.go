@@ -113,6 +113,15 @@ type Engine struct {
 	maxEv      int64
 	timerFires int64
 
+	// Cluster membership (see multi.go). gen counts state changes that can
+	// move the engine's next event: every processed step, thread transition,
+	// timer arming and cancellation bumps it, staling any cluster-heap entry
+	// carrying an older stamp. cl/clIdx notify the owning cluster so a
+	// quiescent engine woken by an injection resurfaces in the event heap.
+	gen   uint64
+	cl    *Cluster
+	clIdx int32
+
 	// Telemetry. recOn caches rec.Enabled() so the per-step cost of disabled
 	// telemetry is a plain bool test, not an interface call; the quiescent-
 	// point deltas are relative to the previous quiescent event.
@@ -146,6 +155,15 @@ func NewEngine(hw int, capacity CapacityFunc) *Engine {
 	}
 	e := &Engine{hw: hw, capacity: capacity, maxEv: math.MaxInt64, rec: obs.Nop,
 		nextSample: math.Inf(1)}
+	// Warm the per-engine scratch: an engine's first few pushes and batches —
+	// e.g. the first request a fleet driver injects into a fresh replica, or
+	// its first GC pause — must not be the ones paying slice growth on a
+	// driving hot loop.
+	e.timers.a = make([]timerEntry, 0, 8)
+	e.comp.a = make([]compEntry, 0, 32)
+	e.batch = make([]*Thread, 0, 16)
+	e.rates = make([]float64, 0, 32)
+	e.releaseTimer(e.newTimerBlock())
 	if e.capacity == nil {
 		e.capacity = func(n int) float64 {
 			if n > hw {
@@ -238,6 +256,17 @@ func (e *Engine) TaskClock() float64 {
 
 const timeEps = 1e-6 // tolerance for float time comparisons, in ns
 
+// mutated records a state change that may have moved the engine's next event:
+// the generation counter stales any cluster-heap entry stamped before it, and
+// the owning cluster (if any) is told to re-derive this engine's entry on its
+// next Peek. Standalone engines pay one increment and one nil check.
+func (e *Engine) mutated() {
+	e.gen++
+	if e.cl != nil {
+		e.cl.markDirty(e.clIdx)
+	}
+}
+
 // rateFor returns the per-thread progress rate C(n)/n for n runnable
 // threads, memoized (CapacityFunc is pure by contract).
 func (e *Engine) rateFor(n int) float64 {
@@ -323,6 +352,7 @@ func (e *Engine) Step() bool {
 			e.crossSamples()
 		}
 		e.fireTimers()
+		e.mutated()
 		e.events++
 		return true
 	}
@@ -405,6 +435,7 @@ func (e *Engine) Step() bool {
 		}
 	}
 	e.fireTimers()
+	e.mutated()
 	e.events++
 	return true
 }

@@ -110,6 +110,7 @@ func (t *Thread) Exec(cpuNS float64, done func()) {
 	if !t.eng.naive {
 		t.eng.activate(t)
 	}
+	t.eng.mutated()
 }
 
 // releaseQuantum takes an active thread out of the runnable set mid-quantum:
@@ -139,6 +140,7 @@ func (t *Thread) Block() {
 		t.releaseQuantum()
 		t.state = StateBlocked
 		t.blockedAt = t.eng.now
+		t.eng.mutated()
 	default:
 		panic(fmt.Sprintf("sim: Block on %s thread %q", t.state, t.name))
 	}
@@ -159,6 +161,7 @@ func (t *Thread) Unblock() {
 	} else {
 		t.state = StateIdle
 	}
+	t.eng.mutated()
 }
 
 // Abandon discards the thread's current quantum, returning it to idle
@@ -176,6 +179,7 @@ func (t *Thread) Abandon() {
 	t.state = StateIdle
 	t.onDone = nil
 	t.remaining = 0
+	t.eng.mutated()
 }
 
 // Finish marks the thread permanently done. Any in-flight quantum is
@@ -189,6 +193,7 @@ func (t *Thread) Finish() {
 	t.state = StateDone
 	t.onDone = nil
 	t.remaining = 0
+	t.eng.mutated()
 }
 
 // Threads returns all threads registered with the engine, in creation order.

@@ -55,7 +55,12 @@ func NewReplica(d *Descriptor, cfg RunConfig, idx int) (*Replica, error) {
 	if err != nil {
 		return nil, err
 	}
-	rp := &Replica{r: r, idx: idx}
+	rp := &Replica{r: r, idx: idx,
+		// Pre-sized so a replica's first injections and completions never
+		// allocate on the fleet driving loop.
+		pendIDs: make([]int32, 0, 8),
+		comps:   make([]Completion, 0, 8),
+	}
 	rp.injectFn = rp.arrive
 	r.onComplete = rp.completed
 	r.recording = true
@@ -65,6 +70,18 @@ func NewReplica(d *Descriptor, cfg RunConfig, idx int) (*Replica, error) {
 	r.iter = 0
 	r.h.SetTargetLive(r.targetLive(0))
 	r.ol.busy = make([]bool, len(r.workers))
+	r.ol.queue = make([]olItem, 0, 8)
+	// Pre-mint one event frame per worker (each carries two bound method
+	// values) so a replica's first requests never allocate frames on the
+	// fleet driving loop; a standalone run warms the same pool within its
+	// first few events instead.
+	minted := make([]*eventFrame, len(r.workers))
+	for i := range minted {
+		minted[i] = r.newFrame()
+	}
+	for _, f := range minted {
+		r.releaseFrame(f)
+	}
 	return rp, nil
 }
 
@@ -178,3 +195,9 @@ func (rp *Replica) WarmupIter() int { return rp.r.iter }
 // which fleet arrival processes use as the per-replica mean. The degenerate
 // configurations are rejected exactly as the open-loop runner rejects them.
 func (rp *Replica) Interval() (float64, error) { return rp.r.openLoopInterval() }
+
+// SetPauseHook installs fn to observe the replica collector's stop-the-world
+// transitions (true at world stop, false at restart) — the signal an indexed
+// GC-aware balancer maintains its paused-replica set from, replacing the
+// per-pick Paused() poll. A nil hook costs nothing.
+func (rp *Replica) SetPauseHook(fn func(paused bool)) { rp.r.col.SetPauseHook(fn) }

@@ -309,7 +309,12 @@ func newRunner(d *Descriptor, cfg RunConfig) (*runner, error) {
 	eng := sim.NewEngine(cfg.Machine.HWThreads, cfg.Machine.Capacity(d.Arch.SMTContention))
 	eng.SetEventLimit(500_000_000)
 	h := heap.New(heap.Config{SizeBytes: cfg.HeapMB * MB, Expansion: expansion}, d.Demo)
-	log := &trace.Log{}
+	// Pre-sized so early GC cycles append without growth on a stepping hot
+	// loop; long runs amortize further doublings as usual.
+	log := &trace.Log{
+		Events: make([]trace.GCEvent, 0, 64),
+		Pauses: make([]trace.Pause, 0, 64),
+	}
 	col := gc.New(p, eng, h, log)
 	if rec := obs.Or(cfg.Recorder); rec.Enabled() {
 		eng.SetRecorder(rec)
